@@ -1,0 +1,100 @@
+// Ablations of Algorithm 1's two knobs (DESIGN.md §4):
+//   delta — approximation ratio vs output pieces (Theorem 3.3)
+//   gamma — running time vs output pieces (Theorem 3.4 / Corollary 3.1)
+// plus the pair-merging vs group-merging (fastmerging) round count.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/exact_dp.h"
+#include "bench/bench_util.h"
+#include "core/fast_merging.h"
+#include "core/merging.h"
+#include "data/generators.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+int Main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  const std::vector<double> data = MakePolyDataset();
+  const SparseFunction q = SparseFunction::FromDense(data);
+  const int64_t k = 10;
+  auto opt = OptK(data, k);
+
+  std::cout << "=== Ablation: Algorithm 1 parameters (poly, n="
+            << data.size() << ", k=" << k
+            << ", opt_k=" << TablePrinter::FormatDouble(*opt, 2)
+            << ") ===\n\n";
+
+  std::cout << "delta sweep (gamma=1): pieces vs measured ratio vs "
+               "sqrt(1+delta) worst case:\n";
+  TablePrinter delta_table({"delta", "pieces", "error(l2)", "ratio",
+                            "worst-case ratio", "rounds", "time(ms)"});
+  for (double delta : {0.1, 0.5, 1.0, 4.0, 20.0, 1000.0}) {
+    const MergingOptions options{delta, 1.0};
+    auto result = ConstructHistogram(q, k, options);
+    const double millis = bench_util::TimeMillis(
+        [&] { (void)ConstructHistogram(q, k, options); });
+    delta_table.AddRow(
+        {TablePrinter::FormatDouble(delta, 1),
+         TablePrinter::FormatInt(
+             static_cast<long long>(result->histogram.num_pieces())),
+         TablePrinter::FormatDouble(std::sqrt(result->err_squared), 2),
+         TablePrinter::FormatDouble(std::sqrt(result->err_squared) / *opt, 3),
+         TablePrinter::FormatDouble(std::sqrt(1.0 + delta), 2),
+         TablePrinter::FormatInt(result->num_rounds),
+         TablePrinter::FormatDouble(millis, 3)});
+  }
+  delta_table.Print(std::cout);
+
+  std::cout << "\ngamma sweep (delta=1000): Corollary 3.1's time/pieces "
+               "trade-off:\n";
+  TablePrinter gamma_table({"gamma", "pieces", "error(l2)", "rounds",
+                            "time(ms)"});
+  for (double gamma : {1.0, 10.0, 20.0, 40.0, 80.0}) {
+    const MergingOptions options{1000.0, gamma};
+    auto result = ConstructHistogram(q, k, options);
+    const double millis = bench_util::TimeMillis(
+        [&] { (void)ConstructHistogram(q, k, options); });
+    gamma_table.AddRow(
+        {TablePrinter::FormatDouble(gamma, 0),
+         TablePrinter::FormatInt(
+             static_cast<long long>(result->histogram.num_pieces())),
+         TablePrinter::FormatDouble(std::sqrt(result->err_squared), 2),
+         TablePrinter::FormatInt(result->num_rounds),
+         TablePrinter::FormatDouble(millis, 3)});
+  }
+  gamma_table.Print(std::cout);
+
+  std::cout << "\npair merging vs group merging (rounds, footnote 3):\n";
+  TablePrinter rounds_table({"n", "merging rounds", "fastmerging rounds",
+                             "merging ms", "fastmerging ms"});
+  for (int64_t n : {1000, 4000, 16000, 64000}) {
+    PolyDatasetOptions options;
+    options.domain_size = n;
+    const std::vector<double> big = MakePolyDataset(options);
+    const SparseFunction big_q = SparseFunction::FromDense(big);
+    auto slow = ConstructHistogram(big_q, k);
+    auto fast = ConstructHistogramFast(big_q, k);
+    const double slow_ms =
+        bench_util::TimeMillis([&] { (void)ConstructHistogram(big_q, k); });
+    const double fast_ms = bench_util::TimeMillis(
+        [&] { (void)ConstructHistogramFast(big_q, k); });
+    rounds_table.AddRow({TablePrinter::FormatInt(n),
+                         TablePrinter::FormatInt(slow->num_rounds),
+                         TablePrinter::FormatInt(fast->num_rounds),
+                         TablePrinter::FormatDouble(slow_ms, 3),
+                         TablePrinter::FormatDouble(fast_ms, 3)});
+  }
+  rounds_table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Main(argc, argv); }

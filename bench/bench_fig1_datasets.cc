@@ -1,0 +1,75 @@
+// Figure 1 reproduction: generates the three offline data sets and prints
+// their summary statistics (and, with --dump, the full series as CSV for
+// plotting).  The paper's panels: hist (10-piece noisy histogram, n=1000),
+// poly (noisy degree-5 polynomial, n=4000), dow (DJIA-like series,
+// n=16384; simulated — see DESIGN.md §3).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "baseline/exact_dp.h"
+#include "bench/bench_util.h"
+#include "data/dow.h"
+#include "data/generators.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+void Describe(const std::string& name, const std::vector<double>& data,
+              int64_t k, TablePrinter* table) {
+  RunningStats stats;
+  for (double x : data) stats.Add(x);
+  // opt_k context for the smaller sets; skip for dow (quadratic DP).
+  std::string opt = "-";
+  if (data.size() <= 4096) {
+    auto opt_k = OptK(data, k);
+    if (opt_k.ok()) opt = TablePrinter::FormatDouble(*opt_k, 2);
+  }
+  table->AddRow({name, TablePrinter::FormatInt(static_cast<long long>(data.size())),
+                 TablePrinter::FormatInt(k),
+                 TablePrinter::FormatDouble(stats.Min(), 2),
+                 TablePrinter::FormatDouble(stats.Max(), 2),
+                 TablePrinter::FormatDouble(stats.Mean(), 2),
+                 TablePrinter::FormatDouble(stats.StdDev(), 2), opt});
+}
+
+void Dump(const std::string& name, const std::vector<double>& data) {
+  std::printf("# %s\n", name.c_str());
+  std::printf("index,value\n");
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::printf("%zu,%.6f\n", i, data[i]);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const std::vector<double> hist = MakeHistDataset();
+  const std::vector<double> poly = MakePolyDataset();
+  const std::vector<double> dow = MakeDowDataset();
+
+  if (bench_util::HasFlag(argc, argv, "--dump")) {
+    Dump("hist", hist);
+    Dump("poly", poly);
+    Dump("dow", dow);
+    return 0;
+  }
+
+  std::cout << "=== Figure 1: offline data sets ===\n";
+  TablePrinter table(
+      {"dataset", "n", "k", "min", "max", "mean", "stddev", "opt_k"});
+  Describe("hist", hist, 10, &table);
+  Describe("poly", poly, 10, &table);
+  Describe("dow", dow, 50, &table);
+  table.Print(std::cout);
+  std::cout << "\n(--dump prints the full series as CSV; dow opt_k skipped: "
+               "quadratic DP at n=16384)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Main(argc, argv); }

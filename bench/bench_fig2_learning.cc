@@ -1,0 +1,101 @@
+// Figure 2 reproduction: histogram learning from samples.  The three data
+// sets are normalized to probability distributions (hist', poly', dow' —
+// poly and dow subsampled by 4x / 16x to support ~1000, Section 5.2).
+// For each sample count m we report the mean and standard deviation of the
+// l2 error to the true distribution over 20 trials, for exactdp / merging /
+// merging2, together with the opt_k floor.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/exact_dp.h"
+#include "bench/bench_util.h"
+#include "core/merging.h"
+#include "data/dow.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+struct LearnSpec {
+  std::string name;
+  Distribution distribution;
+  int64_t k;
+};
+
+void RunDataset(const LearnSpec& spec, int trials,
+                const std::vector<size_t>& sample_sizes) {
+  auto opt = OptK(spec.distribution.pmf(), spec.k);
+  std::cout << "--- " << spec.name << " (support=" <<
+      spec.distribution.domain_size() << ", k=" << spec.k
+            << ", opt_k=" << TablePrinter::FormatDouble(*opt, 4) << ") ---\n";
+
+  auto sampler = AliasSampler::Create(spec.distribution);
+  const MergingOptions paper_options{1000.0, 1.0};
+
+  TablePrinter table({"m", "exactdp(mean)", "exactdp(std)", "merging(mean)",
+                      "merging(std)", "merging2(mean)", "merging2(std)"});
+  Rng rng(20150531);
+  for (size_t m : sample_sizes) {
+    RunningStats exact_stats;
+    RunningStats merging_stats;
+    RunningStats merging2_stats;
+    for (int trial = 0; trial < trials; ++trial) {
+      auto empirical = EmpiricalDistribution(
+          spec.distribution.domain_size(), sampler->SampleMany(m, &rng));
+      const std::vector<double> empirical_dense = empirical->ToDense();
+
+      auto exact = VOptimalHistogram(empirical_dense, spec.k);
+      exact_stats.Add(spec.distribution.L2DistanceTo(exact->histogram));
+
+      auto merging = ConstructHistogram(*empirical, spec.k, paper_options);
+      merging_stats.Add(spec.distribution.L2DistanceTo(merging->histogram));
+
+      auto merging2 =
+          ConstructHistogram(*empirical, (spec.k + 1) / 2, paper_options);
+      merging2_stats.Add(spec.distribution.L2DistanceTo(merging2->histogram));
+    }
+    table.AddRow({TablePrinter::FormatInt(static_cast<long long>(m)),
+                  TablePrinter::FormatDouble(exact_stats.Mean(), 4),
+                  TablePrinter::FormatDouble(exact_stats.StdDev(), 4),
+                  TablePrinter::FormatDouble(merging_stats.Mean(), 4),
+                  TablePrinter::FormatDouble(merging_stats.StdDev(), 4),
+                  TablePrinter::FormatDouble(merging2_stats.Mean(), 4),
+                  TablePrinter::FormatDouble(merging2_stats.StdDev(), 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+int Main(int argc, char** argv) {
+  const bool fast = bench_util::HasFlag(argc, argv, "--fast");
+  const int trials = fast ? 5 : 20;
+  const std::vector<size_t> sample_sizes{1000, 2500, 5000, 7500, 10000};
+
+  std::cout << "=== Figure 2: histogram learning from samples ("
+            << trials << " trials) ===\n\n";
+
+  auto hist = NormalizeToDistribution(MakeHistDataset());
+  RunDataset({"hist'", std::move(hist).value(), 10}, trials, sample_sizes);
+
+  auto poly_sub = SubsampleUniform(MakePolyDataset(), 4);
+  auto poly = NormalizeToDistribution(*poly_sub);
+  RunDataset({"poly'", std::move(poly).value(), 10}, trials, sample_sizes);
+
+  auto dow_sub = SubsampleUniform(MakeDowDataset(), 16);
+  auto dow = NormalizeToDistribution(*dow_sub);
+  RunDataset({"dow'", std::move(dow).value(), 50}, trials, sample_sizes);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Main(argc, argv); }

@@ -1,0 +1,201 @@
+// Google-benchmark microbenchmarks of the library's kernels: merging at
+// several input sizes (sample-linear time, Theorem 3.4), the hierarchical
+// builder, Gram evaluation (O(d) per point), the projection oracle, alias
+// sampling (O(1)), empirical-distribution construction, selection, and the
+// exact DP for context.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/equi.h"
+#include "baseline/exact_dp.h"
+#include "baseline/wavelet.h"
+#include "core/fast_merging.h"
+#include "core/streaming.h"
+#include "core/hierarchical.h"
+#include "core/merging.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "poly/fit_poly.h"
+#include "poly/gram.h"
+#include "util/random.h"
+#include "util/selection.h"
+
+namespace fasthist {
+namespace {
+
+std::vector<double> Signal(int64_t n) {
+  PolyDatasetOptions options;
+  options.domain_size = n;
+  return MakePolyDataset(options);
+}
+
+void BM_ConstructHistogram(benchmark::State& state) {
+  const SparseFunction q = SparseFunction::FromDense(Signal(state.range(0)));
+  for (auto _ : state) {
+    auto result = ConstructHistogram(q, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConstructHistogram)->Range(1 << 10, 1 << 18)->Complexity();
+
+void BM_ConstructHistogramFast(benchmark::State& state) {
+  const SparseFunction q = SparseFunction::FromDense(Signal(state.range(0)));
+  for (auto _ : state) {
+    auto result = ConstructHistogramFast(q, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConstructHistogramFast)->Range(1 << 10, 1 << 18)->Complexity();
+
+void BM_Hierarchical(benchmark::State& state) {
+  const SparseFunction q = SparseFunction::FromDense(Signal(state.range(0)));
+  for (auto _ : state) {
+    auto result = HierarchicalHistogram::Build(q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hierarchical)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_ExactDp(benchmark::State& state) {
+  const std::vector<double> q = Signal(state.range(0));
+  for (auto _ : state) {
+    auto result = VOptimalHistogram(q, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactDp)->Range(1 << 8, 1 << 11)->Complexity();
+
+void BM_EvaluateGram(benchmark::State& state) {
+  GramBasis basis = GramBasis::Create(4096, static_cast<int>(state.range(0)))
+                        .value();
+  std::vector<double> out;
+  double x = 0.0;
+  for (auto _ : state) {
+    basis.EvaluateAt(x, &out);
+    benchmark::DoNotOptimize(out);
+    x += 1.0;
+    if (x >= 4096.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_EvaluateGram)->DenseRange(0, 8, 2);
+
+void BM_FitPoly(benchmark::State& state) {
+  const SparseFunction q = SparseFunction::FromDense(Signal(4096));
+  const Interval interval{0, 4096};
+  const int degree = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = FitPoly(q, interval, degree);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FitPoly)->DenseRange(0, 8, 2);
+
+void BM_AliasSample(benchmark::State& state) {
+  auto p = NormalizeToDistribution(Signal(state.range(0))).value();
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Range(1 << 10, 1 << 16);
+
+void BM_EmpiricalDistribution(benchmark::State& state) {
+  auto p = NormalizeToDistribution(Signal(4000)).value();
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(2);
+  const auto samples =
+      sampler.SampleMany(static_cast<size_t>(state.range(0)), &rng);
+  for (auto _ : state) {
+    auto result = EmpiricalDistribution(4000, samples);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EmpiricalDistribution)->Range(1 << 10, 1 << 17);
+
+void BM_EquiDepth(benchmark::State& state) {
+  std::vector<double> q = Signal(state.range(0));
+  for (double& x : q) x = x > 0.0 ? x : 0.0;
+  for (auto _ : state) {
+    auto result = EquiDepthHistogram(q, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EquiDepth)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_WaveletTopB(benchmark::State& state) {
+  const std::vector<double> q = Signal(state.range(0));
+  for (auto _ : state) {
+    auto result = TopBWaveletSynopsis(q, 10);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WaveletTopB)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_MergeHistograms(benchmark::State& state) {
+  const SparseFunction q1 = SparseFunction::FromDense(Signal(8192));
+  PolyDatasetOptions alt;
+  alt.domain_size = 8192;
+  alt.seed = 99;
+  const SparseFunction q2 =
+      SparseFunction::FromDense(MakePolyDataset(alt));
+  const Histogram h1 = ConstructHistogram(q1, state.range(0))->histogram;
+  const Histogram h2 = ConstructHistogram(q2, state.range(0))->histogram;
+  for (auto _ : state) {
+    auto merged = MergeHistograms(h1, 1.0, h2, 1.0, state.range(0));
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_MergeHistograms)->Range(4, 256);
+
+void BM_StreamingIngest(benchmark::State& state) {
+  auto p = NormalizeToDistribution(Signal(4000)).value();
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(5);
+  const auto samples = sampler.SampleMany(1 << 16, &rng);
+  for (auto _ : state) {
+    auto builder = StreamingHistogramBuilder::Create(
+                       4000, 10, static_cast<size_t>(state.range(0)))
+                       .value();
+    benchmark::DoNotOptimize(builder.AddMany(samples));
+    benchmark::DoNotOptimize(builder.Snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_StreamingIngest)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_SelectKth(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectKth(v, v.size() / 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SelectKth)->Range(1 << 10, 1 << 18)->Complexity();
+
+void BM_SelectKthMedianOfMedians(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectKthMedianOfMedians(v, v.size() / 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SelectKthMedianOfMedians)->Range(1 << 10, 1 << 18)->Complexity();
+
+}  // namespace
+}  // namespace fasthist
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Theorem 2.2 / Algorithm 2: multi-scale histogram construction.  One O(s)
+// run of ConstructHierarchicalHistogram serves every k simultaneously; we
+// trace the (pieces, error) Pareto curve and compare each SelectForK level
+// against fixed-k merging and the exact optimum.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/exact_dp.h"
+#include "bench/bench_util.h"
+#include "core/hierarchical.h"
+#include "core/merging.h"
+#include "data/dow.h"
+#include "data/generators.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace fasthist {
+namespace {
+
+int Main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::cout << "=== Theorem 2.2: multi-scale histograms (Algorithm 2) ===\n\n";
+
+  const std::vector<double> data = MakeHistDataset();
+  const SparseFunction q = SparseFunction::FromDense(data);
+
+  auto hierarchy = HierarchicalHistogram::Build(q);
+  const double build_millis =
+      bench_util::TimeMillis([&] { (void)HierarchicalHistogram::Build(q); });
+  std::cout << "hist (n=" << data.size() << "): one build = "
+            << TablePrinter::FormatDouble(build_millis, 3) << " ms, "
+            << hierarchy->num_levels() << " levels\n\n";
+
+  std::cout << "Pareto curve (every 3rd level):\n";
+  TablePrinter pareto({"level", "pieces", "error(l2)"});
+  auto curve = hierarchy->ParetoCurve();
+  for (size_t i = 0; i < curve.size(); i += 3) {
+    pareto.AddRow({TablePrinter::FormatInt(static_cast<long long>(curve[i].level)),
+                   TablePrinter::FormatInt(
+                       static_cast<long long>(curve[i].num_pieces)),
+                   TablePrinter::FormatDouble(curve[i].err, 3)});
+  }
+  pareto.Print(std::cout);
+
+  std::cout << "\nSelectForK vs fixed-k merging vs opt_k "
+               "(Theorem 2.2: pieces <= 8k, err <= 2 opt_k):\n";
+  TablePrinter table({"k", "ms.pieces", "ms.err", "ms.err/opt", "merging.err",
+                      "opt_k"});
+  for (int64_t k : {1, 2, 5, 10, 20, 50}) {
+    auto selection = hierarchy->SelectForK(k);
+    auto fixed = ConstructHistogram(q, k, MergingOptions{1000.0, 1.0});
+    auto opt = OptK(data, k);
+    const double opt_k = *opt;
+    table.AddRow(
+        {TablePrinter::FormatInt(k),
+         TablePrinter::FormatInt(
+             static_cast<long long>(selection->num_pieces)),
+         TablePrinter::FormatDouble(selection->error_estimate, 3),
+         opt_k > 0.0
+             ? TablePrinter::FormatDouble(selection->error_estimate / opt_k, 3)
+             : "-",
+         TablePrinter::FormatDouble(std::sqrt(fixed->err_squared), 3),
+         TablePrinter::FormatDouble(opt_k, 3)});
+  }
+  table.Print(std::cout);
+
+  // Scaling: a single multi-scale build vs one merging run per k.
+  std::cout << "\nBuild-once vs merge-per-k (dow, n=16384):\n";
+  const std::vector<double> dow = MakeDowDataset();
+  const SparseFunction dow_q = SparseFunction::FromDense(dow);
+  const double hier_millis = bench_util::TimeMillis(
+      [&] { (void)HierarchicalHistogram::Build(dow_q); });
+  WallTimer timer;
+  for (int64_t k = 1; k <= 64; k *= 2) {
+    (void)ConstructHistogram(dow_q, k, MergingOptions{1000.0, 1.0});
+  }
+  const double per_k_millis = timer.ElapsedMillis();
+  TablePrinter scale({"strategy", "time(ms)"});
+  scale.AddRow({"hierarchical (all k at once)",
+                TablePrinter::FormatDouble(hier_millis, 3)});
+  scale.AddRow({"merging for k=1,2,...,64 (7 runs)",
+                TablePrinter::FormatDouble(per_k_millis, 3)});
+  scale.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Main(argc, argv); }

@@ -1,0 +1,142 @@
+// Synopsis family shoot-out (our extension): at an equal storage budget,
+// compare every synopsis this repository implements — merging histograms
+// (this paper), the exact V-optimal DP, equi-width/equi-depth (classic DB
+// practice), and top-B Haar wavelets — plus the streaming mergeable
+// summary against its batch equivalent.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/equi.h"
+#include "baseline/exact_dp.h"
+#include "baseline/wavelet.h"
+#include "bench/bench_util.h"
+#include "core/merging.h"
+#include "core/streaming.h"
+#include "data/dow.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "dist/l2.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+void RunDataset(const std::string& name, const std::vector<double>& data,
+                int64_t k, bool with_exact) {
+  // Storage accounting: a k-piece histogram needs k boundaries + k values
+  // ~ 2k numbers; a B-term wavelet needs B (index, coeff) pairs ~ 2B.
+  // So k pieces vs B = k terms is the fair fight.
+  SparseFunction q = SparseFunction::FromDense(data);
+  std::vector<double> nonneg = data;
+  for (double& x : nonneg) x = x > 0.0 ? x : 0.0;
+
+  std::cout << "--- " << name << " (n=" << data.size() << ", budget k=B="
+            << k << ") ---\n";
+  TablePrinter table({"synopsis", "error(l2)", "time(ms)"});
+
+  if (with_exact) {
+    WallTimer timer;
+    auto exact = VOptimalHistogram(data, k);
+    const double ms = timer.ElapsedMillis();
+    table.AddRow({"v-optimal (exact DP)",
+                  TablePrinter::FormatDouble(std::sqrt(exact->err_squared), 2),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  {
+    auto merging = ConstructHistogram(q, (k + 1) / 2);  // ~k+1 pieces
+    const double ms = bench_util::TimeMillis(
+        [&] { (void)ConstructHistogram(q, (k + 1) / 2); });
+    table.AddRow({"merging (this paper)",
+                  TablePrinter::FormatDouble(
+                      std::sqrt(merging->err_squared), 2),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  {
+    auto width = EquiWidthHistogram(data, k);
+    const double ms =
+        bench_util::TimeMillis([&] { (void)EquiWidthHistogram(data, k); });
+    table.AddRow({"equi-width",
+                  TablePrinter::FormatDouble(
+                      std::sqrt(width->L2DistanceSquaredTo(q)), 2),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  {
+    auto depth = EquiDepthHistogram(nonneg, k);
+    const double ms =
+        bench_util::TimeMillis([&] { (void)EquiDepthHistogram(nonneg, k); });
+    table.AddRow({"equi-depth",
+                  TablePrinter::FormatDouble(
+                      std::sqrt(depth->L2DistanceSquaredTo(q)), 2),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  {
+    auto wavelet = TopBWaveletSynopsis(data, k);
+    const double ms =
+        bench_util::TimeMillis([&] { (void)TopBWaveletSynopsis(data, k); });
+    table.AddRow({"top-B Haar wavelet",
+                  TablePrinter::FormatDouble(
+                      std::sqrt(wavelet->err_squared), 2),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void RunStreamingComparison() {
+  std::cout << "--- streaming mergeable summary vs batch (hist-shaped "
+               "distribution, k=10) ---\n";
+  HistDatasetOptions options;
+  options.domain_size = 2000;
+  auto p = NormalizeToDistribution(MakeHistDataset(options)).value();
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(515151);
+  const std::vector<int64_t> samples = sampler.SampleMany(100000, &rng);
+
+  TablePrinter table(
+      {"strategy", "buffer", "err vs truth", "time(ms)"});
+  for (size_t buffer : {512u, 4096u, 100000u}) {
+    auto builder =
+        StreamingHistogramBuilder::Create(2000, 10, buffer).value();
+    WallTimer timer;
+    (void)builder.AddMany(samples);
+    auto snapshot = builder.Snapshot();
+    const double ms = timer.ElapsedMillis();
+    table.AddRow({buffer == 100000u ? "single flush" : "streaming",
+                  TablePrinter::FormatInt(static_cast<long long>(buffer)),
+                  TablePrinter::FormatDouble(p.L2DistanceTo(*snapshot), 5),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  {
+    WallTimer timer;
+    auto empirical = EmpiricalDistribution(2000, samples);
+    auto batch = ConstructHistogram(*empirical, 10);
+    const double ms = timer.ElapsedMillis();
+    table.AddRow({"batch (all samples in memory)", "-",
+                  TablePrinter::FormatDouble(
+                      p.L2DistanceTo(batch->histogram), 5),
+                  TablePrinter::FormatDouble(ms, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "(streaming keeps O(buffer + k) memory; batch keeps all "
+               "100k samples)\n";
+}
+
+int Main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  std::cout << "=== Synopsis comparison at equal storage budgets ===\n\n";
+  RunDataset("hist", MakeHistDataset(), 10, /*with_exact=*/true);
+  RunDataset("poly", MakePolyDataset(), 10, /*with_exact=*/true);
+  RunDataset("dow", MakeDowDataset(), 50, /*with_exact=*/false);
+  RunStreamingComparison();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Main(argc, argv); }

@@ -1,0 +1,42 @@
+#ifndef FASTHIST_BENCH_BENCH_UTIL_H_
+#define FASTHIST_BENCH_BENCH_UTIL_H_
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace fasthist {
+namespace bench_util {
+
+/// Wall-clock milliseconds of `fn`, averaged over adaptive repetitions:
+/// keeps re-running until `min_total_ms` of measurement or `max_reps`
+/// repetitions accumulate (the paper averages over >= 10 and up to 1e4
+/// trials depending on speed).
+inline double TimeMillis(const std::function<void()>& fn,
+                         double min_total_ms = 50.0, int max_reps = 10000,
+                         int min_reps = 3) {
+  WallTimer timer;
+  int reps = 0;
+  while (reps < min_reps ||
+         (timer.ElapsedMillis() < min_total_ms && reps < max_reps)) {
+    fn();
+    ++reps;
+  }
+  return timer.ElapsedMillis() / static_cast<double>(reps);
+}
+
+/// True if `flag` (e.g. "--fast") appears among the arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace bench_util
+}  // namespace fasthist
+
+#endif  // FASTHIST_BENCH_BENCH_UTIL_H_
