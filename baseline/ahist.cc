@@ -1,0 +1,121 @@
+#include "baseline/ahist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fasthist {
+namespace {
+
+double Cost(const std::vector<double>& prefix_sum,
+            const std::vector<double>& prefix_sumsq, size_t a, size_t b) {
+  if (b <= a + 1) return 0.0;
+  const double s = prefix_sum[b] - prefix_sum[a];
+  const double ss = prefix_sumsq[b] - prefix_sumsq[a];
+  return std::max(0.0, ss - s * s / static_cast<double>(b - a));
+}
+
+}  // namespace
+
+StatusOr<AhistResult> ApproxVOptimalHistogram(const std::vector<double>& data,
+                                              int64_t k,
+                                              const AhistOptions& options) {
+  if (data.empty()) {
+    return Status::Invalid("ApproxVOptimalHistogram: empty data");
+  }
+  if (k < 1) return Status::Invalid("ApproxVOptimalHistogram: k must be >= 1");
+  if (!(options.delta > 0.0)) {
+    return Status::Invalid("ApproxVOptimalHistogram: delta must be positive");
+  }
+
+  const size_t n = data.size();
+  const size_t kk = std::min(static_cast<size_t>(k), n);
+  std::vector<double> prefix_sum(n + 1, 0.0), prefix_sumsq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix_sum[i + 1] = prefix_sum[i] + data[i];
+    prefix_sumsq[i + 1] = prefix_sumsq[i] + data[i] * data[i];
+  }
+  const auto cost = [&](size_t a, size_t b) {
+    return Cost(prefix_sum, prefix_sumsq, a, b);
+  };
+
+  // Per-row multiplicative slack; compounding over kk rows stays within
+  // (1 + delta) on the squared error: (1 + delta/(2k))^k <= e^{delta/2}
+  // <= 1 + delta for delta <= 2.5 (and we cap the step for larger delta).
+  const double eps = std::min(options.delta, 2.5) /
+                     (2.0 * static_cast<double>(kk));
+
+  std::vector<double> prev(n + 1, 0.0), cur(n + 1, 0.0);
+  for (size_t i = 1; i <= n; ++i) prev[i] = cost(0, i);
+  std::vector<std::vector<int32_t>> parent(
+      kk + 1, std::vector<int32_t>(n + 1, 0));
+
+  std::vector<size_t> candidates;
+  for (size_t j = 2; j <= kk; ++j) {
+    // Compress row j-1: keep the last boundary position of each geometric
+    // error class.  For any true optimum t*, the kept representative
+    // t >= t* satisfies dp(t) <= (1+eps) dp(t*) and cost(t, i) <=
+    // cost(t*, i), so the row loses at most a (1+eps) factor.
+    candidates.clear();
+    double class_base = -1.0;
+    for (size_t t = j - 1; t < n; ++t) {
+      const double v = prev[t];
+      const bool same_class =
+          !candidates.empty() &&
+          ((class_base == 0.0 && v == 0.0) ||
+           (class_base > 0.0 && v <= class_base * (1.0 + eps)));
+      if (same_class) {
+        candidates.back() = t;
+      } else {
+        candidates.push_back(t);
+        class_base = v;
+      }
+    }
+
+    for (size_t i = 0; i <= n; ++i) cur[i] = prev[i];
+    for (size_t i = j; i <= n; ++i) {
+      double best = prev[i - 1];
+      int32_t best_t = static_cast<int32_t>(i - 1);
+      for (size_t t : candidates) {
+        if (t + 1 >= i) break;
+        const double candidate = prev[t] + cost(t, i);
+        if (candidate < best) {
+          best = candidate;
+          best_t = static_cast<int32_t>(t);
+        }
+      }
+      cur[i] = best;
+      parent[j][i] = best_t;
+    }
+    prev.swap(cur);
+  }
+
+  AhistResult result;
+  result.err_squared = prev[n];
+  std::vector<size_t> boundaries;
+  size_t i = n;
+  for (size_t j = kk; j >= 2 && i > 0; --j) {
+    boundaries.push_back(i);
+    i = static_cast<size_t>(parent[j][i]);
+  }
+  boundaries.push_back(i);
+
+  std::vector<HistogramPiece> pieces;
+  size_t begin = 0;
+  for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
+    const size_t end = *it;
+    if (end == begin) continue;
+    pieces.push_back(
+        {{static_cast<int64_t>(begin), static_cast<int64_t>(end)},
+         (prefix_sum[end] - prefix_sum[begin]) /
+             static_cast<double>(end - begin)});
+    begin = end;
+  }
+  auto histogram =
+      Histogram::Create(static_cast<int64_t>(n), std::move(pieces));
+  if (!histogram.ok()) return histogram.status();
+  result.histogram = std::move(histogram).value();
+  return result;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,36 @@
+#ifndef FASTHIST_BASELINE_AHIST_H_
+#define FASTHIST_BASELINE_AHIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+struct AhistOptions {
+  // Approximation slack: the output's squared error is at most
+  // (1 + delta) times the exact V-optimal squared error.
+  double delta = 0.5;
+};
+
+struct AhistResult {
+  Histogram histogram;
+  double err_squared = 0.0;
+};
+
+// AHIST-style (1+delta)-approximate V-optimal DP in the spirit of [GKS06]:
+// the DP over "j pieces covering the prefix [0, t)" keeps, per row, only
+// one candidate boundary per geometric error class (width 1 + delta/(2k)),
+// so each transition scans O((k/delta) log range) candidates instead of all
+// t.  Guarantee class matches the paper's Section 5.1 comparison: ratio
+// within (1 + delta) of exactdp but orders of magnitude slower than the
+// merging family, which is exactly the trade-off the bench reproduces.
+StatusOr<AhistResult> ApproxVOptimalHistogram(
+    const std::vector<double>& data, int64_t k,
+    const AhistOptions& options = AhistOptions());
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_AHIST_H_

@@ -1,0 +1,110 @@
+#include "baseline/dual_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fasthist {
+namespace {
+
+struct Prefix {
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+
+  explicit Prefix(const std::vector<double>& data)
+      : sum(data.size() + 1, 0.0), sumsq(data.size() + 1, 0.0) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      sum[i + 1] = sum[i] + data[i];
+      sumsq[i + 1] = sumsq[i] + data[i] * data[i];
+    }
+  }
+
+  double Cost(size_t a, size_t b) const {
+    if (b <= a + 1) return 0.0;
+    const double s = sum[b] - sum[a];
+    const double ss = sumsq[b] - sumsq[a];
+    return std::max(0.0, ss - s * s / static_cast<double>(b - a));
+  }
+
+  double MeanOf(size_t a, size_t b) const {
+    return (sum[b] - sum[a]) / static_cast<double>(b - a);
+  }
+};
+
+// Greedy scan with per-piece budget tau; returns the boundaries (piece end
+// positions) of the minimal partition.
+std::vector<size_t> GreedyPartition(const Prefix& prefix, size_t n,
+                                    double tau) {
+  std::vector<size_t> ends;
+  size_t begin = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (prefix.Cost(begin, i) > tau) {
+      ends.push_back(i - 1);  // piece [begin, i-1]; singleton cost is 0
+      begin = i - 1;
+    }
+  }
+  ends.push_back(n);
+  return ends;
+}
+
+}  // namespace
+
+StatusOr<DualGreedyResult> DualPrimal(const std::vector<double>& data,
+                                      int64_t max_pieces) {
+  if (data.empty()) return Status::Invalid("DualPrimal: empty data");
+  if (max_pieces < 1) {
+    return Status::Invalid("DualPrimal: max_pieces must be >= 1");
+  }
+  const size_t n = data.size();
+  const Prefix prefix(data);
+  const size_t budget = static_cast<size_t>(max_pieces);
+
+  DualGreedyResult result;
+  std::vector<size_t> best_ends;
+  double lo = 0.0, hi = prefix.Cost(0, n);
+
+  // tau = 0 may already fit (e.g. piecewise-constant data).
+  {
+    std::vector<size_t> ends = GreedyPartition(prefix, n, 0.0);
+    ++result.num_probes;
+    if (ends.size() <= budget) {
+      best_ends = std::move(ends);
+      hi = 0.0;
+    }
+  }
+  if (best_ends.empty()) {
+    // hi = total cost always yields a single piece, hence feasible.
+    for (int iter = 0; iter < 60 && hi > lo; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      std::vector<size_t> ends = GreedyPartition(prefix, n, mid);
+      ++result.num_probes;
+      if (ends.size() <= budget) {
+        best_ends = std::move(ends);
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    if (best_ends.empty()) {
+      best_ends = GreedyPartition(prefix, n, hi);
+      ++result.num_probes;
+    }
+  }
+
+  std::vector<HistogramPiece> pieces;
+  size_t begin = 0;
+  for (size_t end : best_ends) {
+    if (end == begin) continue;
+    pieces.push_back({{static_cast<int64_t>(begin), static_cast<int64_t>(end)},
+                      prefix.MeanOf(begin, end)});
+    result.err_squared += prefix.Cost(begin, end);
+    begin = end;
+  }
+  auto histogram =
+      Histogram::Create(static_cast<int64_t>(n), std::move(pieces));
+  if (!histogram.ok()) return histogram.status();
+  result.histogram = std::move(histogram).value();
+  return result;
+}
+
+}  // namespace fasthist

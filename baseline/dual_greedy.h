@@ -1,0 +1,29 @@
+#ifndef FASTHIST_BASELINE_DUAL_GREEDY_H_
+#define FASTHIST_BASELINE_DUAL_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+struct DualGreedyResult {
+  Histogram histogram;
+  double err_squared = 0.0;
+  long long num_probes = 0;  // greedy scans spent in the binary search
+};
+
+// The [JKM+98] dual heuristic: the dual problem — minimize pieces subject
+// to a per-piece squared-error budget tau — is solved exactly by a greedy
+// left-to-right scan (extend the current piece while its residual stays
+// within tau).  A binary search over tau then finds the tightest budget
+// whose greedy partition fits in `max_pieces`.  O(n log(1/precision))
+// total, at the price of no global optimality guarantee.
+StatusOr<DualGreedyResult> DualPrimal(const std::vector<double>& data,
+                                      int64_t max_pieces);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_DUAL_GREEDY_H_

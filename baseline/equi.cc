@@ -1,0 +1,75 @@
+#include "baseline/equi.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fasthist {
+namespace {
+
+StatusOr<Histogram> FromBoundaries(const std::vector<double>& data,
+                                   const std::vector<size_t>& boundaries) {
+  std::vector<HistogramPiece> pieces;
+  pieces.reserve(boundaries.size() - 1);
+  for (size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    const size_t begin = boundaries[b];
+    const size_t end = boundaries[b + 1];
+    if (end == begin) continue;
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += data[i];
+    pieces.push_back({{static_cast<int64_t>(begin), static_cast<int64_t>(end)},
+                      sum / static_cast<double>(end - begin)});
+  }
+  return Histogram::Create(static_cast<int64_t>(data.size()),
+                           std::move(pieces));
+}
+
+}  // namespace
+
+StatusOr<Histogram> EquiWidthHistogram(const std::vector<double>& data,
+                                       int64_t k) {
+  if (data.empty()) return Status::Invalid("EquiWidthHistogram: empty data");
+  if (k < 1) return Status::Invalid("EquiWidthHistogram: k must be >= 1");
+  const size_t n = data.size();
+  const size_t buckets = std::min(static_cast<size_t>(k), n);
+  std::vector<size_t> boundaries(buckets + 1);
+  for (size_t b = 0; b <= buckets; ++b) boundaries[b] = b * n / buckets;
+  return FromBoundaries(data, boundaries);
+}
+
+StatusOr<Histogram> EquiDepthHistogram(const std::vector<double>& data,
+                                       int64_t k) {
+  if (data.empty()) return Status::Invalid("EquiDepthHistogram: empty data");
+  if (k < 1) return Status::Invalid("EquiDepthHistogram: k must be >= 1");
+  const size_t n = data.size();
+  std::vector<double> prefix_mass(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] < 0.0) {
+      return Status::Invalid("EquiDepthHistogram: data must be non-negative");
+    }
+    prefix_mass[i + 1] = prefix_mass[i] + data[i];
+  }
+  const double total = prefix_mass[n];
+  if (total <= 0.0) {
+    // All-zero data: any partition is exact; fall back to one bucket.
+    return FromBoundaries(data, {0, n});
+  }
+
+  const size_t buckets = std::min(static_cast<size_t>(k), n);
+  std::vector<size_t> boundaries(buckets + 1);
+  boundaries[0] = 0;
+  boundaries[buckets] = n;
+  for (size_t b = 1; b < buckets; ++b) {
+    const double target =
+        total * static_cast<double>(b) / static_cast<double>(buckets);
+    const auto it = std::lower_bound(prefix_mass.begin(), prefix_mass.end(),
+                                     target);
+    size_t pos = static_cast<size_t>(it - prefix_mass.begin());
+    // Keep boundaries strictly increasing with room for later buckets.
+    pos = std::max(pos, boundaries[b - 1] + 1);
+    pos = std::min(pos, n - (buckets - b));
+    boundaries[b] = pos;
+  }
+  return FromBoundaries(data, boundaries);
+}
+
+}  // namespace fasthist

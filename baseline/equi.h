@@ -1,0 +1,26 @@
+#ifndef FASTHIST_BASELINE_EQUI_H_
+#define FASTHIST_BASELINE_EQUI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// Classic database-practice baselines.  Both return a k-piece histogram
+// whose flat values are the data means of the buckets.
+
+// k buckets of (near-)equal index width.
+StatusOr<Histogram> EquiWidthHistogram(const std::vector<double>& data,
+                                       int64_t k);
+
+// k buckets of (near-)equal total mass; `data` must be non-negative since
+// bucket boundaries are mass quantiles.
+StatusOr<Histogram> EquiDepthHistogram(const std::vector<double>& data,
+                                       int64_t k);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_EQUI_H_

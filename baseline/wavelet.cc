@@ -1,0 +1,90 @@
+#include "baseline/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fasthist {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+// In-place orthonormal Haar analysis: after the call, work[0] is the
+// scaling coefficient and work[half .. 2*half) holds the detail
+// coefficients of each scale, coarse scales at the front.
+void HaarForward(std::vector<double>* work) {
+  const size_t n = work->size();
+  std::vector<double> tmp(n);
+  for (size_t len = n; len >= 2; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[i] = ((*work)[2 * i] + (*work)[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = ((*work)[2 * i] - (*work)[2 * i + 1]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<ptrdiff_t>(len),
+              work->begin());
+  }
+}
+
+void HaarInverse(std::vector<double>* work) {
+  const size_t n = work->size();
+  std::vector<double> tmp(n);
+  for (size_t len = 2; len <= n; len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = ((*work)[i] + (*work)[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = ((*work)[i] - (*work)[half + i]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + static_cast<ptrdiff_t>(len),
+              work->begin());
+  }
+}
+
+}  // namespace
+
+StatusOr<WaveletSynopsis> TopBWaveletSynopsis(const std::vector<double>& data,
+                                              int64_t b) {
+  if (data.empty()) return Status::Invalid("TopBWaveletSynopsis: empty data");
+  if (b < 1) return Status::Invalid("TopBWaveletSynopsis: b must be >= 1");
+
+  size_t padded = 1;
+  while (padded < data.size()) padded <<= 1;
+  std::vector<double> transform(padded, 0.0);
+  std::copy(data.begin(), data.end(), transform.begin());
+  HaarForward(&transform);
+
+  // Keep the B largest |coefficient|s (ties broken toward coarser scales).
+  const size_t keep = std::min(static_cast<size_t>(b), padded);
+  std::vector<size_t> order(padded);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<ptrdiff_t>(keep - 1),
+                   order.end(), [&](size_t a, size_t c) {
+                     const double fa = std::abs(transform[a]);
+                     const double fc = std::abs(transform[c]);
+                     if (fa != fc) return fa > fc;
+                     return a < c;
+                   });
+
+  WaveletSynopsis synopsis;
+  std::vector<double> kept(padded, 0.0);
+  for (size_t i = 0; i < keep; ++i) {
+    const size_t pos = order[i];
+    kept[pos] = transform[pos];
+    synopsis.coefficients.emplace_back(static_cast<int64_t>(pos),
+                                       transform[pos]);
+  }
+  std::sort(synopsis.coefficients.begin(), synopsis.coefficients.end());
+
+  HaarInverse(&kept);
+  synopsis.reconstruction.assign(kept.begin(),
+                                 kept.begin() + static_cast<ptrdiff_t>(data.size()));
+  synopsis.err_squared = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double d = data[i] - synopsis.reconstruction[i];
+    synopsis.err_squared += d * d;
+  }
+  return synopsis;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,30 @@
+#ifndef FASTHIST_BASELINE_WAVELET_H_
+#define FASTHIST_BASELINE_WAVELET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fasthist {
+
+struct WaveletSynopsis {
+  // The B kept (position, value) pairs in the orthonormal Haar transform of
+  // the zero-padded signal; a fair storage rival to a B-piece histogram's
+  // (boundary, value) pairs.
+  std::vector<std::pair<int64_t, double>> coefficients;
+  std::vector<double> reconstruction;  // size n, transform inverted
+  double err_squared = 0.0;            // vs the original data, on [0, n)
+};
+
+// Top-B Haar wavelet synopsis: orthonormal Haar transform (signal padded
+// with zeros to a power of two), keep the B largest-magnitude coefficients,
+// reconstruct.  Because the basis is orthonormal, keeping the largest
+// coefficients is the l2-optimal B-term wavelet approximation.
+StatusOr<WaveletSynopsis> TopBWaveletSynopsis(const std::vector<double>& data,
+                                              int64_t b);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_WAVELET_H_

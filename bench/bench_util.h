@@ -11,16 +11,21 @@
 namespace fasthist {
 namespace bench_util {
 
-/// Wall-clock milliseconds of `fn`, averaged over adaptive repetitions:
-/// keeps re-running until `min_total_ms` of measurement or `max_reps`
-/// repetitions accumulate (the paper averages over >= 10 and up to 1e4
-/// trials depending on speed).
+/// Wall-clock milliseconds of `fn`, averaged over adaptive repetitions.
+///
+/// Contract: the first `min_reps` runs are warm-up only (caches, branch
+/// predictors, lazy allocations) — the timer is restarted after them and
+/// they never enter the average.  Measurement then re-runs `fn` until
+/// `min_total_ms` of measured time or `max_reps` additional repetitions
+/// accumulate, and returns measured-time / measured-reps (the paper
+/// averages over >= 10 and up to 1e4 trials depending on speed).
 inline double TimeMillis(const std::function<void()>& fn,
                          double min_total_ms = 50.0, int max_reps = 10000,
                          int min_reps = 3) {
+  for (int warmup = 0; warmup < min_reps; ++warmup) fn();
   WallTimer timer;
   int reps = 0;
-  while (reps < min_reps ||
+  while (reps < 1 ||
          (timer.ElapsedMillis() < min_total_ms && reps < max_reps)) {
     fn();
     ++reps;

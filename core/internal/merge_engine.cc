@@ -1,0 +1,141 @@
+#include "core/internal/merge_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fasthist {
+namespace internal {
+namespace {
+
+double AtomError(const MergeAtom& atom) {
+  const double length = static_cast<double>(atom.end - atom.begin);
+  return std::max(0.0, atom.sumsq - atom.sum * atom.sum / length);
+}
+
+MergeAtom Combine(const MergeAtom& a, const MergeAtom& b) {
+  return MergeAtom{a.begin, b.end, a.sum + b.sum, a.sumsq + b.sumsq};
+}
+
+int64_t PairsKeptPerRound(int64_t k, const MergingOptions& options) {
+  const double raw = static_cast<double>(k) * (1.0 + 1.0 / options.delta);
+  return std::max(k, static_cast<int64_t>(raw));
+}
+
+}  // namespace
+
+std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q) {
+  const std::vector<int64_t>& indices = q.indices();
+  const std::vector<double>& values = q.values();
+  std::vector<MergeAtom> atoms;
+  atoms.reserve(2 * indices.size() + 1);
+  int64_t cursor = 0;
+  for (size_t s = 0; s < indices.size(); ++s) {
+    const int64_t i = indices[s];
+    if (i > cursor) atoms.push_back({cursor, i, 0.0, 0.0});
+    atoms.push_back({i, i + 1, values[s], values[s] * values[s]});
+    cursor = i + 1;
+  }
+  if (cursor < q.domain_size()) {
+    atoms.push_back({cursor, q.domain_size(), 0.0, 0.0});
+  }
+  if (atoms.empty()) atoms.push_back({0, q.domain_size(), 0.0, 0.0});
+  return atoms;
+}
+
+StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
+                                         std::vector<MergeAtom> atoms,
+                                         int64_t k,
+                                         const MergingOptions& options,
+                                         SelectionStrategy strategy) {
+  if (domain_size <= 0) {
+    return Status::Invalid("merging: domain must be positive");
+  }
+  if (k < 1) return Status::Invalid("merging: k must be >= 1");
+  if (!(options.delta > 0.0)) {
+    return Status::Invalid("merging: delta must be positive");
+  }
+  if (!(options.gamma >= 1.0)) {
+    return Status::Invalid("merging: gamma must be >= 1");
+  }
+
+  const int64_t keep = PairsKeptPerRound(k, options);
+  // gamma stops the rounds early (Corollary 3.1): at most ~2*gamma*keep+1
+  // pieces survive, in exchange for fewer rounds over the large partitions.
+  const int64_t stop =
+      2 * static_cast<int64_t>(options.gamma * static_cast<double>(keep)) + 1;
+  MergingResult result;
+
+  std::vector<MergeAtom> candidates;
+  std::vector<double> candidate_err;
+  std::vector<size_t> order;
+  std::vector<bool> keep_split;
+
+  // Round recursion s -> ceil(s/2) + keep: strictly decreasing while
+  // s > stop >= 2*keep + 1, so termination is structural.
+  while (static_cast<int64_t>(atoms.size()) > stop) {
+    const size_t num_pairs = atoms.size() / 2;
+    candidates.resize(num_pairs);
+    candidate_err.resize(num_pairs);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      candidates[p] = Combine(atoms[2 * p], atoms[2 * p + 1]);
+      candidate_err[p] = AtomError(candidates[p]);
+    }
+
+    // Rank pairs under the strict total order (error desc, index asc) and
+    // mark the top `keep` to stay split.
+    const size_t num_keep = std::min(static_cast<size_t>(keep), num_pairs);
+    order.resize(num_pairs);
+    std::iota(order.begin(), order.end(), size_t{0});
+    const auto larger_error = [&](size_t a, size_t b) {
+      if (candidate_err[a] != candidate_err[b]) {
+        return candidate_err[a] > candidate_err[b];
+      }
+      return a < b;
+    };
+    switch (strategy) {
+      case SelectionStrategy::kSort:
+        std::sort(order.begin(), order.end(), larger_error);
+        break;
+      case SelectionStrategy::kSelect:
+        if (num_keep < num_pairs) {
+          std::nth_element(order.begin(),
+                           order.begin() + static_cast<ptrdiff_t>(num_keep),
+                           order.end(), larger_error);
+        }
+        break;
+    }
+    keep_split.assign(num_pairs, false);
+    for (size_t i = 0; i < num_keep; ++i) keep_split[order[i]] = true;
+
+    std::vector<MergeAtom> next;
+    next.reserve(num_pairs + num_keep + 1);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      if (keep_split[p]) {
+        next.push_back(atoms[2 * p]);
+        next.push_back(atoms[2 * p + 1]);
+      } else {
+        next.push_back(candidates[p]);
+      }
+    }
+    if (atoms.size() % 2 == 1) next.push_back(atoms.back());
+    atoms.swap(next);
+    ++result.num_rounds;
+  }
+
+  std::vector<HistogramPiece> pieces;
+  pieces.reserve(atoms.size());
+  result.err_squared = 0.0;
+  for (const MergeAtom& atom : atoms) {
+    const double length = static_cast<double>(atom.end - atom.begin);
+    pieces.push_back({{atom.begin, atom.end}, atom.sum / length});
+    result.err_squared += AtomError(atom);
+  }
+  auto histogram = Histogram::Create(domain_size, std::move(pieces));
+  if (!histogram.ok()) return histogram.status();
+  result.histogram = std::move(histogram).value();
+  return result;
+}
+
+}  // namespace internal
+}  // namespace fasthist

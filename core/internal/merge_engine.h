@@ -1,0 +1,47 @@
+#ifndef FASTHIST_CORE_INTERNAL_MERGE_ENGINE_H_
+#define FASTHIST_CORE_INTERNAL_MERGE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merging.h"
+#include "dist/sparse_function.h"
+#include "poly/poly_merging.h"
+#include "util/status.h"
+
+namespace fasthist {
+namespace internal {
+
+// An interval of the current partition together with the sufficient
+// statistics of q on it: with L = end - begin, S = sum, SS = sumsq, the best
+// flat value is S/L and the squared residual is SS - S^2/L.
+struct MergeAtom {
+  int64_t begin = 0;
+  int64_t end = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+};
+
+// How each round finds the m pairs with the largest merged error.  kSort is
+// the textbook O(s log s) formulation; kSelect uses nth_element (the
+// Theorem 3.4 trick) for O(s) per round and — thanks to the strict
+// (error, index) tie-break order — selects exactly the same pair set, so
+// the two strategies produce identical histograms.
+enum class SelectionStrategy { kSort, kSelect };
+
+// Initial sample-linear partition of q: alternating zero-run atoms and
+// singleton support atoms covering [0, domain).
+std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q);
+
+// Runs the merging rounds over `atoms` (which must tile [0, domain_size))
+// and returns the flat-value histogram of the surviving partition.
+StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
+                                         std::vector<MergeAtom> atoms,
+                                         int64_t k,
+                                         const MergingOptions& options,
+                                         SelectionStrategy strategy);
+
+}  // namespace internal
+}  // namespace fasthist
+
+#endif  // FASTHIST_CORE_INTERNAL_MERGE_ENGINE_H_

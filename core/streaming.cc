@@ -1,0 +1,73 @@
+#include "core/streaming.h"
+
+#include <utility>
+
+#include "dist/empirical.h"
+
+namespace fasthist {
+
+StatusOr<StreamingHistogramBuilder> StreamingHistogramBuilder::Create(
+    int64_t domain_size, int64_t k, size_t buffer_capacity) {
+  if (domain_size <= 0) {
+    return Status::Invalid("StreamingHistogramBuilder: domain must be positive");
+  }
+  if (k < 1) {
+    return Status::Invalid("StreamingHistogramBuilder: k must be >= 1");
+  }
+  if (buffer_capacity == 0) {
+    return Status::Invalid("StreamingHistogramBuilder: buffer must be >= 1");
+  }
+  return StreamingHistogramBuilder(domain_size, k, buffer_capacity);
+}
+
+Status StreamingHistogramBuilder::Add(int64_t sample) {
+  if (sample < 0 || sample >= domain_size_) {
+    return Status::Invalid("StreamingHistogramBuilder: sample out of domain");
+  }
+  buffer_.push_back(sample);
+  if (buffer_.size() >= buffer_capacity_) return Flush();
+  return Status::Ok();
+}
+
+Status StreamingHistogramBuilder::AddMany(
+    const std::vector<int64_t>& samples) {
+  for (int64_t sample : samples) {
+    if (Status s = Add(sample); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status StreamingHistogramBuilder::Flush() {
+  if (buffer_.empty()) return Status::Ok();
+
+  auto empirical = EmpiricalDistribution(domain_size_, buffer_);
+  if (!empirical.ok()) return empirical.status();
+  auto batch = ConstructHistogram(*empirical, k_);
+  if (!batch.ok()) return batch.status();
+
+  const int64_t batch_count = static_cast<int64_t>(buffer_.size());
+  if (summarized_count_ == 0) {
+    summary_ = std::move(batch->histogram);
+  } else {
+    auto merged = MergeHistograms(
+        summary_, static_cast<double>(summarized_count_), batch->histogram,
+        static_cast<double>(batch_count), k_);
+    if (!merged.ok()) return merged.status();
+    summary_ = std::move(merged).value();
+  }
+  summarized_count_ += batch_count;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+StatusOr<Histogram> StreamingHistogramBuilder::Snapshot() {
+  if (Status s = Flush(); !s.ok()) return s;
+  if (summarized_count_ == 0) {
+    return Histogram::Create(
+        domain_size_,
+        {{{0, domain_size_}, 1.0 / static_cast<double>(domain_size_)}});
+  }
+  return summary_;
+}
+
+}  // namespace fasthist

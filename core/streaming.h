@@ -1,0 +1,55 @@
+#ifndef FASTHIST_CORE_STREAMING_H_
+#define FASTHIST_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merging.h"
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// Mergeable streaming summary (Section 4 / Lemma 4.2): samples are buffered
+// up to `buffer_capacity`; each full buffer is condensed into a ~2k+1-piece
+// histogram of its empirical distribution and folded into the running
+// summary with a weighted MergeHistograms.  Memory is O(buffer + k)
+// regardless of the stream length, and the summary approximates the
+// empirical distribution of everything ingested so far.
+class StreamingHistogramBuilder {
+ public:
+  static StatusOr<StreamingHistogramBuilder> Create(int64_t domain_size,
+                                                    int64_t k,
+                                                    size_t buffer_capacity);
+
+  // Samples must lie in [0, domain_size).
+  Status Add(int64_t sample);
+  Status AddMany(const std::vector<int64_t>& samples);
+
+  // Flushes the buffer and returns the current summary as a (mass ~1)
+  // histogram over the domain.  With no samples ingested yet, returns the
+  // uniform distribution.  The builder remains usable afterwards.
+  StatusOr<Histogram> Snapshot();
+
+  int64_t num_samples() const {
+    return summarized_count_ + static_cast<int64_t>(buffer_.size());
+  }
+
+ private:
+  StreamingHistogramBuilder(int64_t domain_size, int64_t k,
+                            size_t buffer_capacity)
+      : domain_size_(domain_size), k_(k), buffer_capacity_(buffer_capacity) {}
+
+  Status Flush();
+
+  int64_t domain_size_;
+  int64_t k_;
+  size_t buffer_capacity_;
+  std::vector<int64_t> buffer_;
+  Histogram summary_;             // valid iff summarized_count_ > 0
+  int64_t summarized_count_ = 0;  // samples already folded into summary_
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_CORE_STREAMING_H_

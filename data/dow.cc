@@ -1,0 +1,34 @@
+#include "data/dow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fasthist {
+
+std::vector<double> MakeDowDataset(const DowDatasetOptions& options) {
+  const size_t n = static_cast<size_t>(std::max<int64_t>(options.num_days, 1));
+  Rng rng(options.seed);
+
+  std::vector<double> data(n);
+  double value = options.start_value;
+  double volatility = options.daily_volatility;
+  for (size_t i = 0; i < n; ++i) {
+    // Volatility itself mean-reverts with occasional spikes, giving the
+    // bursty look of real index series.
+    volatility = std::max(
+        0.2 * options.daily_volatility,
+        volatility + 0.05 * (options.daily_volatility - volatility) +
+            0.002 * options.daily_volatility * rng.Gaussian());
+    if (rng.UniformDouble() < 0.001) volatility *= 3.0;
+
+    value *= std::exp(options.daily_drift -
+                      0.5 * volatility * volatility +
+                      volatility * rng.Gaussian());
+    data[i] = value;
+  }
+  return data;
+}
+
+}  // namespace fasthist

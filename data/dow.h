@@ -1,0 +1,26 @@
+#ifndef FASTHIST_DATA_DOW_H_
+#define FASTHIST_DATA_DOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fasthist {
+
+// Synthetic Dow-Jones-like daily-value series: a geometric random walk with
+// mild drift and occasional volatility bursts, standing in for the paper's
+// dow data set (n=16384).  Values are strictly positive, so the series can
+// be normalized into a distribution or fed to equi-depth directly.
+struct DowDatasetOptions {
+  int64_t num_days = 16384;
+  uint64_t seed = 18960526;  // the DJIA's first trading day
+  double start_value = 1000.0;
+  double daily_drift = 1e-4;
+  double daily_volatility = 0.01;
+};
+
+std::vector<double> MakeDowDataset(
+    const DowDatasetOptions& options = DowDatasetOptions());
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_DATA_DOW_H_

@@ -1,0 +1,89 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fasthist {
+
+std::vector<double> MakePolyDataset(const PolyDatasetOptions& options) {
+  const size_t n = static_cast<size_t>(std::max<int64_t>(options.domain_size, 1));
+  Rng rng(options.seed);
+
+  // Random polynomial with Uniform[-1, 1] coefficients over t in [-1, 1].
+  std::vector<double> coefficients(static_cast<size_t>(options.degree) + 1);
+  for (double& c : coefficients) c = 2.0 * rng.UniformDouble() - 1.0;
+
+  std::vector<double> data(n);
+  double raw_min = 0.0, raw_max = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double t =
+        n > 1 ? 2.0 * static_cast<double>(i) / static_cast<double>(n - 1) - 1.0
+              : 0.0;
+    double value = 0.0;
+    for (size_t j = coefficients.size(); j-- > 0;) {
+      value = value * t + coefficients[j];
+    }
+    data[i] = value;
+    if (i == 0 || value < raw_min) raw_min = value;
+    if (i == 0 || value > raw_max) raw_max = value;
+  }
+
+  // Affine rescale (degree preserved) into [low, high], then add noise.
+  const double span = raw_max > raw_min ? raw_max - raw_min : 1.0;
+  const double scale = (options.high - options.low) / span;
+  for (double& value : data) {
+    value = options.low + (value - raw_min) * scale +
+            options.noise_stddev * rng.Gaussian();
+  }
+  return data;
+}
+
+std::vector<double> MakeHistDataset(const HistDatasetOptions& options) {
+  const size_t n = static_cast<size_t>(std::max<int64_t>(options.domain_size, 1));
+  const size_t pieces =
+      std::min(static_cast<size_t>(std::max(options.num_pieces, 1)), n);
+  Rng rng(options.seed);
+
+  // Jittered piece boundaries around the equal-width grid.
+  std::vector<size_t> boundaries(pieces + 1);
+  boundaries[0] = 0;
+  boundaries[pieces] = n;
+  const double width = static_cast<double>(n) / static_cast<double>(pieces);
+  for (size_t p = 1; p < pieces; ++p) {
+    const double jitter = (rng.UniformDouble() - 0.5) * 0.5 * width;
+    const double pos = width * static_cast<double>(p) + jitter;
+    boundaries[p] = static_cast<size_t>(std::max(
+        static_cast<double>(boundaries[p - 1] + 1), std::min(pos, static_cast<double>(n - (pieces - p)))));
+  }
+
+  std::vector<double> data(n);
+  for (size_t p = 0; p < pieces; ++p) {
+    const double level =
+        options.min_level +
+        (options.max_level - options.min_level) * rng.UniformDouble();
+    for (size_t i = boundaries[p]; i < boundaries[p + 1]; ++i) {
+      data[i] = level + options.noise_stddev * rng.Gaussian();
+    }
+  }
+  return data;
+}
+
+StatusOr<std::vector<double>> SubsampleUniform(const std::vector<double>& data,
+                                               int64_t factor) {
+  if (factor < 1) {
+    return Status::Invalid("SubsampleUniform: factor must be >= 1");
+  }
+  if (data.empty()) {
+    return Status::Invalid("SubsampleUniform: empty input");
+  }
+  std::vector<double> out;
+  out.reserve(data.size() / static_cast<size_t>(factor) + 1);
+  for (size_t i = 0; i < data.size(); i += static_cast<size_t>(factor)) {
+    out.push_back(data[i]);
+  }
+  return out;
+}
+
+}  // namespace fasthist

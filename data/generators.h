@@ -1,0 +1,50 @@
+#ifndef FASTHIST_DATA_GENERATORS_H_
+#define FASTHIST_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fasthist {
+
+// Synthetic reproductions of the paper's Figure 1 data sets.  All
+// generators are deterministic for a fixed seed.
+
+// Noisy degree-`degree` polynomial over the domain: a random polynomial is
+// affinely rescaled to the [low, high] value range, then i.i.d. Gaussian
+// noise is added per point.  Matches the paper's "poly" panel (n=4000,
+// degree 5).
+struct PolyDatasetOptions {
+  int64_t domain_size = 4000;
+  uint64_t seed = 20150531;
+  int degree = 5;
+  double low = 10.0;
+  double high = 90.0;
+  double noise_stddev = 2.0;
+};
+std::vector<double> MakePolyDataset(
+    const PolyDatasetOptions& options = PolyDatasetOptions());
+
+// Noisy `num_pieces`-piece histogram over the domain: random flat levels on
+// jittered-width pieces plus Gaussian noise.  Matches the paper's "hist"
+// panel (n=1000, 10 pieces).
+struct HistDatasetOptions {
+  int64_t domain_size = 1000;
+  uint64_t seed = 19980607;
+  int num_pieces = 10;
+  double min_level = 20.0;
+  double max_level = 100.0;
+  double noise_stddev = 1.0;
+};
+std::vector<double> MakeHistDataset(
+    const HistDatasetOptions& options = HistDatasetOptions());
+
+// Every `factor`-th element of `data` (used to shrink poly/dow into
+// sampleable supports for the learning experiments, Section 5.2).
+StatusOr<std::vector<double>> SubsampleUniform(const std::vector<double>& data,
+                                               int64_t factor);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_DATA_GENERATORS_H_

@@ -1,0 +1,49 @@
+#include "dist/alias_sampler.h"
+
+#include <vector>
+
+namespace fasthist {
+
+StatusOr<AliasSampler> AliasSampler::Create(const Distribution& p) {
+  const std::vector<double>& pmf = p.pmf();
+  const size_t n = pmf.size();
+  if (n == 0) return Status::Invalid("AliasSampler: empty distribution");
+
+  AliasSampler sampler;
+  sampler.prob_.assign(n, 0.0);
+  sampler.alias_.assign(n, 0);
+
+  // Vose's stable two-worklist construction over scaled masses n * p_i.
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = pmf[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    sampler.prob_[s] = scaled[s];
+    sampler.alias_[s] = static_cast<int64_t>(l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to rounding.
+  for (size_t i : large) sampler.prob_[i] = 1.0;
+  for (size_t i : small) sampler.prob_[i] = 1.0;
+
+  return sampler;
+}
+
+std::vector<int64_t> AliasSampler::SampleMany(size_t m, Rng* rng) const {
+  std::vector<int64_t> samples(m);
+  for (size_t i = 0; i < m; ++i) samples[i] = Sample(rng);
+  return samples;
+}
+
+}  // namespace fasthist

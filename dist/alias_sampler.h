@@ -1,0 +1,38 @@
+#ifndef FASTHIST_DIST_ALIAS_SAMPLER_H_
+#define FASTHIST_DIST_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/empirical.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// Walker/Vose alias method: O(n) preprocessing, O(1) per sample.  This is
+// the sampling oracle behind every learning experiment — drawing m samples
+// costs O(n + m) regardless of the distribution's shape.
+class AliasSampler {
+ public:
+  static StatusOr<AliasSampler> Create(const Distribution& p);
+
+  int64_t domain_size() const { return static_cast<int64_t>(prob_.size()); }
+
+  int64_t Sample(Rng* rng) const {
+    const int64_t column = rng->UniformInt(domain_size());
+    return rng->UniformDouble() < prob_[static_cast<size_t>(column)]
+               ? column
+               : alias_[static_cast<size_t>(column)];
+  }
+
+  std::vector<int64_t> SampleMany(size_t m, Rng* rng) const;
+
+ private:
+  std::vector<double> prob_;   // acceptance probability per column
+  std::vector<int64_t> alias_;  // fallback outcome per column
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_DIST_ALIAS_SAMPLER_H_

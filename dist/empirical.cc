@@ -1,0 +1,103 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasthist {
+
+StatusOr<Distribution> Distribution::FromWeights(
+    const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::Invalid("Distribution: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::Invalid("Distribution: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::Invalid("Distribution: weights sum to zero");
+  }
+  Distribution p;
+  p.pmf_.resize(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) p.pmf_[i] = weights[i] / total;
+  return p;
+}
+
+double Distribution::L2DistanceTo(const Histogram& h) const {
+  double total = 0.0;
+  size_t x = 0;
+  for (const HistogramPiece& piece : h.pieces()) {
+    const size_t end = std::min(static_cast<size_t>(piece.interval.end),
+                                pmf_.size());
+    for (; x < end; ++x) {
+      const double d = pmf_[x] - piece.value;
+      total += d * d;
+    }
+  }
+  // Any domain tail not covered by the histogram counts at full mass.
+  for (; x < pmf_.size(); ++x) total += pmf_[x] * pmf_[x];
+  return std::sqrt(total);
+}
+
+double Distribution::L2DistanceTo(const std::vector<double>& q) const {
+  const size_t n = std::max(pmf_.size(), q.size());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = i < pmf_.size() ? pmf_[i] : 0.0;
+    const double b = i < q.size() ? q[i] : 0.0;
+    total += (a - b) * (a - b);
+  }
+  return std::sqrt(total);
+}
+
+StatusOr<Distribution> NormalizeToDistribution(
+    const std::vector<double>& data) {
+  std::vector<double> clamped(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    clamped[i] = data[i] > 0.0 ? data[i] : 0.0;
+  }
+  return Distribution::FromWeights(clamped);
+}
+
+StatusOr<SparseFunction> EmpiricalDistribution(
+    int64_t domain_size, const std::vector<int64_t>& samples) {
+  if (domain_size <= 0) {
+    return Status::Invalid("EmpiricalDistribution: domain must be positive");
+  }
+  if (samples.empty()) {
+    return Status::Invalid("EmpiricalDistribution: no samples");
+  }
+  std::vector<int64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() < 0 || sorted.back() >= domain_size) {
+    return Status::Invalid("EmpiricalDistribution: sample out of domain");
+  }
+  const double unit = 1.0 / static_cast<double>(sorted.size());
+  std::vector<std::pair<int64_t, double>> pairs;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    pairs.emplace_back(sorted[i], unit * static_cast<double>(j - i));
+    i = j;
+  }
+  return SparseFunction::FromPairs(domain_size, std::move(pairs));
+}
+
+StatusOr<int64_t> RequiredSampleSize(double eps, double fail_prob) {
+  if (!(eps > 0.0) || !(fail_prob > 0.0) || fail_prob >= 1.0) {
+    return Status::Invalid(
+        "RequiredSampleSize: need eps > 0 and fail_prob in (0, 1)");
+  }
+  // E||p_hat - p||_2^2 <= 1/m, and ||p_hat - p||_2 concentrates within
+  // sqrt(2 ln(1/delta) / m) of its mean (McDiarmid with 2/m-bounded
+  // differences), so m = ceil((1 + sqrt(2 ln(1/delta)))^2 / eps^2) suffices.
+  const double root = 1.0 + std::sqrt(2.0 * std::log(1.0 / fail_prob));
+  const double m = std::ceil(root * root / (eps * eps));
+  if (!(m < 9.0e18)) {  // would overflow int64_t (or be NaN)
+    return Status::Invalid("RequiredSampleSize: eps too small, m overflows");
+  }
+  return static_cast<int64_t>(m);
+}
+
+}  // namespace fasthist

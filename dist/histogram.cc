@@ -1,0 +1,82 @@
+#include "dist/histogram.h"
+
+#include <algorithm>
+
+namespace fasthist {
+
+StatusOr<Histogram> Histogram::Create(int64_t domain_size,
+                                      std::vector<HistogramPiece> pieces) {
+  if (domain_size <= 0) {
+    return Status::Invalid("Histogram: domain_size must be positive");
+  }
+  if (pieces.empty()) {
+    return Status::Invalid("Histogram: needs at least one piece");
+  }
+  int64_t expected_begin = 0;
+  for (const HistogramPiece& piece : pieces) {
+    if (piece.interval.begin != expected_begin ||
+        piece.interval.length() <= 0) {
+      return Status::Invalid("Histogram: pieces must be contiguous");
+    }
+    expected_begin = piece.interval.end;
+  }
+  if (expected_begin != domain_size) {
+    return Status::Invalid("Histogram: pieces must cover the domain");
+  }
+  Histogram h;
+  h.domain_size_ = domain_size;
+  h.pieces_ = std::move(pieces);
+  return h;
+}
+
+double Histogram::ValueAt(int64_t x) const {
+  const auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), x,
+      [](int64_t value, const HistogramPiece& piece) {
+        return value < piece.interval.begin;
+      });
+  if (it == pieces_.begin()) return 0.0;
+  const HistogramPiece& piece = *(it - 1);
+  return piece.interval.Contains(x) ? piece.value : 0.0;
+}
+
+double Histogram::TotalMass() const {
+  double mass = 0.0;
+  for (const HistogramPiece& piece : pieces_) {
+    mass += piece.value * static_cast<double>(piece.interval.length());
+  }
+  return mass;
+}
+
+double Histogram::L2DistanceSquaredTo(const SparseFunction& q) const {
+  const std::vector<int64_t>& indices = q.indices();
+  const std::vector<double>& values = q.values();
+  double total = 0.0;
+  size_t s = 0;
+  for (const HistogramPiece& piece : pieces_) {
+    const double c = piece.value;
+    int64_t support_count = 0;
+    while (s < indices.size() && indices[s] < piece.interval.end) {
+      const double v = values[s];
+      total += (v - c) * (v - c);
+      ++support_count;
+      ++s;
+    }
+    // Domain points in the piece where q is zero contribute c^2 each.
+    total += c * c *
+             static_cast<double>(piece.interval.length() - support_count);
+  }
+  return total;
+}
+
+std::vector<double> Histogram::ToDense() const {
+  std::vector<double> dense(static_cast<size_t>(domain_size_), 0.0);
+  for (const HistogramPiece& piece : pieces_) {
+    for (int64_t x = piece.interval.begin; x < piece.interval.end; ++x) {
+      dense[static_cast<size_t>(x)] = piece.value;
+    }
+  }
+  return dense;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,51 @@
+#ifndef FASTHIST_DIST_HISTOGRAM_H_
+#define FASTHIST_DIST_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/sparse_function.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+struct HistogramPiece {
+  Interval interval;
+  double value = 0.0;
+};
+
+// A piecewise-constant function over {0, ..., n-1}: contiguous pieces
+// covering the whole domain, each carrying one flat value.  This is the
+// output type of every histogram construction in the library (merging, the
+// exact DP, the classic equi-* baselines, streaming snapshots).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  // Pieces must be non-empty, contiguous, start at 0 and end at
+  // `domain_size`.
+  static StatusOr<Histogram> Create(int64_t domain_size,
+                                    std::vector<HistogramPiece> pieces);
+
+  int64_t domain_size() const { return domain_size_; }
+  int64_t num_pieces() const { return static_cast<int64_t>(pieces_.size()); }
+  const std::vector<HistogramPiece>& pieces() const { return pieces_; }
+
+  // O(log pieces) point query.
+  double ValueAt(int64_t x) const;
+
+  double TotalMass() const;
+
+  // Sum over the whole domain of (h(x) - q(x))^2, in O(pieces + support).
+  double L2DistanceSquaredTo(const SparseFunction& q) const;
+
+  std::vector<double> ToDense() const;
+
+ private:
+  int64_t domain_size_ = 0;
+  std::vector<HistogramPiece> pieces_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_DIST_HISTOGRAM_H_

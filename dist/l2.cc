@@ -1,0 +1,76 @@
+#include "dist/l2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace fasthist {
+namespace {
+
+double At(const std::vector<double>& v, size_t i) {
+  return i < v.size() ? v[i] : 0.0;
+}
+
+}  // namespace
+
+double L2DistanceSquared(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = At(a, i) - At(b, i);
+    total += d * d;
+  }
+  return total;
+}
+
+double L2DistanceSquared(const SparseFunction& a,
+                         const std::vector<double>& b) {
+  // Sum (a_i - b_i)^2 = sum b_i^2 + sum over support of
+  // ((v - b_i)^2 - b_i^2); only the support needs individual visits.
+  double total = 0.0;
+  for (double x : b) total += x * x;
+  const std::vector<int64_t>& indices = a.indices();
+  const std::vector<double>& values = a.values();
+  for (size_t s = 0; s < indices.size(); ++s) {
+    const double bi = At(b, static_cast<size_t>(indices[s]));
+    const double v = values[s];
+    total += (v - bi) * (v - bi) - bi * bi;
+  }
+  // Support beyond b's length contributed (v - 0)^2 via the loop above.
+  return total;
+}
+
+double L2DistanceSquared(const Histogram& h, const std::vector<double>& b) {
+  double total = 0.0;
+  size_t x = 0;
+  for (const HistogramPiece& piece : h.pieces()) {
+    for (; x < static_cast<size_t>(piece.interval.end); ++x) {
+      const double d = piece.value - At(b, x);
+      total += d * d;
+    }
+  }
+  for (; x < b.size(); ++x) total += b[x] * b[x];
+  return total;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += std::abs(At(a, i) - At(b, i));
+  return total;
+}
+
+double L1Distance(const Histogram& h, const std::vector<double>& b) {
+  double total = 0.0;
+  size_t x = 0;
+  for (const HistogramPiece& piece : h.pieces()) {
+    for (; x < static_cast<size_t>(piece.interval.end); ++x) {
+      total += std::abs(piece.value - At(b, x));
+    }
+  }
+  for (; x < b.size(); ++x) total += std::abs(b[x]);
+  return total;
+}
+
+}  // namespace fasthist

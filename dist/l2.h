@@ -1,0 +1,26 @@
+#ifndef FASTHIST_DIST_L2_H_
+#define FASTHIST_DIST_L2_H_
+
+#include <vector>
+
+#include "dist/histogram.h"
+#include "dist/sparse_function.h"
+
+namespace fasthist {
+
+// L1/L2 distances between densities (dense vectors), sparse functions and
+// histograms.  Mismatched lengths are handled by treating missing entries as
+// zero, so the empirical distribution of few samples can be compared against
+// a full-domain pmf directly.
+
+double L2DistanceSquared(const std::vector<double>& a,
+                         const std::vector<double>& b);
+double L2DistanceSquared(const SparseFunction& a, const std::vector<double>& b);
+double L2DistanceSquared(const Histogram& h, const std::vector<double>& b);
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+double L1Distance(const Histogram& h, const std::vector<double>& b);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_DIST_L2_H_

@@ -1,0 +1,69 @@
+#include "dist/sparse_function.h"
+
+#include <algorithm>
+
+namespace fasthist {
+
+SparseFunction SparseFunction::FromDense(const std::vector<double>& dense) {
+  SparseFunction f;
+  f.domain_size_ = static_cast<int64_t>(dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) {
+      f.indices_.push_back(static_cast<int64_t>(i));
+      f.values_.push_back(dense[i]);
+    }
+  }
+  return f;
+}
+
+StatusOr<SparseFunction> SparseFunction::FromPairs(
+    int64_t domain_size, std::vector<std::pair<int64_t, double>> pairs) {
+  if (domain_size <= 0) {
+    return Status::Invalid("SparseFunction: domain_size must be positive");
+  }
+  std::sort(pairs.begin(), pairs.end());
+  SparseFunction f;
+  f.domain_size_ = domain_size;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const int64_t index = pairs[i].first;
+    if (index < 0 || index >= domain_size) {
+      return Status::Invalid("SparseFunction: index out of domain");
+    }
+    if (i > 0 && index == pairs[i - 1].first) {
+      return Status::Invalid("SparseFunction: duplicate index");
+    }
+    if (pairs[i].second != 0.0) {
+      f.indices_.push_back(index);
+      f.values_.push_back(pairs[i].second);
+    }
+  }
+  return f;
+}
+
+double SparseFunction::ValueAt(int64_t x) const {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), x);
+  if (it == indices_.end() || *it != x) return 0.0;
+  return values_[static_cast<size_t>(it - indices_.begin())];
+}
+
+double SparseFunction::TotalMass() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double SparseFunction::SumSquares() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return sum;
+}
+
+std::vector<double> SparseFunction::ToDense() const {
+  std::vector<double> dense(static_cast<size_t>(domain_size_), 0.0);
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    dense[static_cast<size_t>(indices_[i])] = values_[i];
+  }
+  return dense;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,62 @@
+#include "poly/fit_poly.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasthist {
+
+double PolyFit::EvaluateAt(int64_t x) const {
+  return basis.EvaluateSeries(static_cast<double>(x - interval.begin),
+                              coefficients);
+}
+
+StatusOr<PolyFit> FitPoly(const SparseFunction& q, const Interval& interval,
+                          int degree) {
+  if (interval.length() <= 0 || interval.begin < 0 ||
+      interval.end > q.domain_size()) {
+    return Status::Invalid("FitPoly: interval out of domain");
+  }
+  const int effective_degree = static_cast<int>(
+      std::min<int64_t>(degree, interval.length() - 1));
+  auto basis = GramBasis::Create(interval.length(), effective_degree);
+  if (!basis.ok()) return basis.status();
+  return FitPolyWithBasis(q, interval, *basis);
+}
+
+StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
+                                   const Interval& interval,
+                                   const GramBasis& basis) {
+  if (interval.length() != basis.num_points()) {
+    return Status::Invalid("FitPolyWithBasis: basis/interval length mismatch");
+  }
+  PolyFit fit;
+  fit.interval = interval;
+  fit.basis = basis;
+  fit.coefficients.assign(static_cast<size_t>(basis.degree()) + 1, 0.0);
+
+  // c_j = <q, p_j> over the interval; only the support contributes.
+  const std::vector<int64_t>& indices = q.indices();
+  const std::vector<double>& values = q.values();
+  const auto first = std::lower_bound(indices.begin(), indices.end(),
+                                      interval.begin);
+  std::vector<double> basis_values;
+  double sum_squares = 0.0;
+  for (auto it = first; it != indices.end() && *it < interval.end; ++it) {
+    const size_t s = static_cast<size_t>(it - indices.begin());
+    const double v = values[s];
+    basis.EvaluateAt(static_cast<double>(*it - interval.begin), &basis_values);
+    for (size_t j = 0; j < fit.coefficients.size(); ++j) {
+      fit.coefficients[j] += v * basis_values[j];
+    }
+    sum_squares += v * v;
+  }
+
+  // Orthonormal projection: residual = ||q||^2 - ||c||^2.  Clamp the tiny
+  // negative values floating-point cancellation can produce.
+  double coeff_norm_sq = 0.0;
+  for (double c : fit.coefficients) coeff_norm_sq += c * c;
+  fit.err_squared = std::max(0.0, sum_squares - coeff_norm_sq);
+  return fit;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,43 @@
+#ifndef FASTHIST_POLY_FIT_POLY_H_
+#define FASTHIST_POLY_FIT_POLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/sparse_function.h"
+#include "poly/gram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// A degree-d polynomial fitted to one interval, stored in the orthonormal
+// Gram basis of that interval (the basis travels with the fit so a PolyFit
+// is self-contained and evaluable anywhere).
+struct PolyFit {
+  Interval interval;
+  GramBasis basis;
+  std::vector<double> coefficients;  // size basis.degree() + 1
+  double err_squared = 0.0;
+
+  // Evaluates the fitted polynomial at absolute domain position x.
+  double EvaluateAt(int64_t x) const;
+};
+
+// Least-squares projection of q restricted to `interval` onto polynomials of
+// degree <= `degree` (zeros of q inside the interval count).  Because the
+// basis is orthonormal, coefficients are plain inner products and the
+// residual is ||q||^2 - ||coefficients||^2 — no normal equations needed.
+// The effective degree is capped at interval.length() - 1.
+//
+// When an already-built basis for this interval length is at hand (the
+// merging loop caches one per length), pass it to avoid the O(length *
+// degree) rebuild.
+StatusOr<PolyFit> FitPoly(const SparseFunction& q, const Interval& interval,
+                          int degree);
+StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
+                                   const Interval& interval,
+                                   const GramBasis& basis);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_POLY_FIT_POLY_H_

@@ -1,0 +1,86 @@
+#include "poly/gram.h"
+
+#include <cmath>
+
+namespace fasthist {
+
+StatusOr<GramBasis> GramBasis::Create(int64_t num_points, int degree) {
+  if (num_points < 1) {
+    return Status::Invalid("GramBasis: num_points must be >= 1");
+  }
+  if (degree < 0 || static_cast<int64_t>(degree) >= num_points) {
+    return Status::Invalid("GramBasis: need 0 <= degree < num_points");
+  }
+
+  GramBasis basis;
+  basis.num_points_ = num_points;
+  basis.degree_ = degree;
+  basis.p0_ = 1.0 / std::sqrt(static_cast<double>(num_points));
+  basis.alpha_.resize(static_cast<size_t>(degree));
+  basis.beta_.resize(static_cast<size_t>(degree));
+
+  // Stieltjes procedure: materialize p_{j} on the grid, compute
+  //   alpha_j = <x p_j, p_j>,  r_{j+1} = (x - alpha_j) p_j - beta_{j-1} p_{j-1},
+  //   beta_j = ||r_{j+1}||,    p_{j+1} = r_{j+1} / beta_j.
+  // (The symmetric Jacobi-matrix identity <x p_j, p_{j-1}> = beta_{j-1}
+  // saves one accumulation pass.)
+  const size_t n = static_cast<size_t>(num_points);
+  std::vector<double> prev(n, 0.0), cur(n, basis.p0_), next(n, 0.0);
+  for (int j = 0; j < degree; ++j) {
+    double alpha = 0.0;
+    for (size_t x = 0; x < n; ++x) {
+      alpha += static_cast<double>(x) * cur[x] * cur[x];
+    }
+    const double beta_prev = j > 0 ? basis.beta_[static_cast<size_t>(j) - 1]
+                                   : 0.0;
+    double norm_sq = 0.0;
+    for (size_t x = 0; x < n; ++x) {
+      next[x] = (static_cast<double>(x) - alpha) * cur[x] -
+                beta_prev * prev[x];
+      norm_sq += next[x] * next[x];
+    }
+    const double beta = std::sqrt(norm_sq);
+    if (!(beta > 0.0)) {
+      return Status::Invalid("GramBasis: recurrence degenerated");
+    }
+    for (size_t x = 0; x < n; ++x) next[x] /= beta;
+    basis.alpha_[static_cast<size_t>(j)] = alpha;
+    basis.beta_[static_cast<size_t>(j)] = beta;
+    prev.swap(cur);
+    cur.swap(next);
+  }
+  return basis;
+}
+
+double GramBasis::EvaluateSeries(double x,
+                                 const std::vector<double>& coefficients) const {
+  if (coefficients.empty()) return 0.0;
+  double prev = 0.0;
+  double cur = p0_;
+  double total = coefficients[0] * cur;
+  const size_t terms = coefficients.size() - 1;
+  for (size_t j = 0; j < terms; ++j) {
+    const double next =
+        ((x - alpha_[j]) * cur - (j > 0 ? beta_[j - 1] : 0.0) * prev) /
+        beta_[j];
+    total += coefficients[j + 1] * next;
+    prev = cur;
+    cur = next;
+  }
+  return total;
+}
+
+void GramBasis::EvaluateAt(double x, std::vector<double>* out) const {
+  out->resize(static_cast<size_t>(degree_) + 1);
+  (*out)[0] = p0_;
+  if (degree_ == 0) return;
+  (*out)[1] = (x - alpha_[0]) * p0_ / beta_[0];
+  for (int j = 1; j < degree_; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    (*out)[sj + 1] = ((x - alpha_[sj]) * (*out)[sj] -
+                      beta_[sj - 1] * (*out)[sj - 1]) /
+                     beta_[sj];
+  }
+}
+
+}  // namespace fasthist

@@ -1,0 +1,47 @@
+#ifndef FASTHIST_POLY_GRAM_H_
+#define FASTHIST_POLY_GRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fasthist {
+
+// Orthonormal discrete polynomial basis (Gram / discrete Chebyshev
+// polynomials) over the grid {0, 1, ..., num_points-1} with the unweighted
+// counting inner product <f, g> = sum_x f(x) g(x).
+//
+// Create precomputes the three-term recurrence coefficients in
+// O(num_points * degree); EvaluateAt then evaluates all degree+1 basis
+// polynomials at an arbitrary (real) point in O(degree) — the projection
+// oracle cost the paper's piecewise-polynomial extension depends on.
+class GramBasis {
+ public:
+  GramBasis() = default;
+
+  // Requires num_points >= 1 and 0 <= degree < num_points.
+  static StatusOr<GramBasis> Create(int64_t num_points, int degree);
+
+  int degree() const { return degree_; }
+  int64_t num_points() const { return num_points_; }
+
+  // out is resized to degree+1; out[j] = p_j(x).
+  void EvaluateAt(double x, std::vector<double>* out) const;
+
+  // sum_j coefficients[j] * p_j(x), accumulated inside the recurrence —
+  // O(degree) with no allocation (the per-point path of piecewise-poly
+  // evaluation).  coefficients.size() must be <= degree+1.
+  double EvaluateSeries(double x, const std::vector<double>& coefficients) const;
+
+ private:
+  int64_t num_points_ = 0;
+  int degree_ = 0;
+  double p0_ = 0.0;             // constant value of p_0
+  std::vector<double> alpha_;   // alpha_[j] = <x p_j, p_j>,    j = 0..degree-1
+  std::vector<double> beta_;    // beta_[j]  = ||r_{j+1}||,     j = 0..degree-1
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_POLY_GRAM_H_

@@ -1,0 +1,136 @@
+#include <cmath>
+#include <vector>
+
+#include "baseline/ahist.h"
+#include "baseline/dual_greedy.h"
+#include "baseline/equi.h"
+#include "baseline/exact_dp.h"
+#include "baseline/wavelet.h"
+#include "data/generators.h"
+#include "tests/fasthist_test.h"
+
+namespace fasthist {
+namespace {
+
+std::vector<double> PiecewiseConstantData() {
+  std::vector<double> data;
+  for (double level : {2.0, 9.0, 4.0}) {
+    for (int i = 0; i < 20; ++i) data.push_back(level);
+  }
+  return data;
+}
+
+TEST(ExactDpIsOptimal) {
+  const std::vector<double> data = PiecewiseConstantData();
+  // k >= true piece count: exact recovery.
+  auto exact = VOptimalHistogram(data, 3);
+  CHECK_OK(exact);
+  CHECK_NEAR(exact->err_squared, 0.0, 1e-9);
+  CHECK(exact->histogram.num_pieces() == 3);
+  CHECK_NEAR(exact->histogram.pieces()[0].value, 2.0, 1e-12);
+  CHECK_NEAR(exact->histogram.pieces()[1].value, 9.0, 1e-12);
+  // k below the true piece count: strictly positive error, and OptK agrees
+  // with the witness-producing variant.
+  auto under = VOptimalHistogram(data, 2);
+  CHECK_OK(under);
+  CHECK(under->err_squared > 1.0);
+  CHECK_NEAR(*OptK(data, 2), std::sqrt(under->err_squared), 1e-9);
+  // More pieces never hurt.
+  CHECK(*OptK(data, 5) <= *OptK(data, 2) + 1e-12);
+  CHECK(!VOptimalHistogram({}, 3).ok());
+  CHECK(!VOptimalHistogram(data, 0).ok());
+}
+
+TEST(EquiHistogramsPartitionSanely) {
+  HistDatasetOptions options;
+  options.domain_size = 500;
+  const std::vector<double> data = MakeHistDataset(options);
+
+  auto width = EquiWidthHistogram(data, 7);
+  CHECK_OK(width);
+  CHECK(width->num_pieces() == 7);
+  for (const HistogramPiece& piece : width->pieces()) {
+    CHECK(piece.interval.length() >= 500 / 7);
+    CHECK(piece.interval.length() <= 500 / 7 + 1);
+  }
+
+  auto depth = EquiDepthHistogram(data, 7);
+  CHECK_OK(depth);
+  CHECK(depth->num_pieces() == 7);
+  // Near-equal mass per bucket (data is bounded away from 0, so the
+  // quantile cuts can land at most one element off).
+  const double total = depth->TotalMass();
+  for (const HistogramPiece& piece : depth->pieces()) {
+    const double mass =
+        piece.value * static_cast<double>(piece.interval.length());
+    CHECK(mass > 0.5 * total / 7);
+    CHECK(mass < 2.0 * total / 7);
+  }
+  CHECK(!EquiDepthHistogram({1.0, -2.0}, 2).ok());
+}
+
+TEST(WaveletTopBIsOrthonormalAndImproves) {
+  const std::vector<double> data = MakePolyDataset();
+  auto coarse = TopBWaveletSynopsis(data, 4);
+  auto fine = TopBWaveletSynopsis(data, 64);
+  CHECK_OK(coarse);
+  CHECK_OK(fine);
+  CHECK(coarse->coefficients.size() == 4);
+  CHECK(fine->err_squared <= coarse->err_squared + 1e-9);
+
+  // Keeping every coefficient reconstructs exactly (orthonormal basis).
+  auto all = TopBWaveletSynopsis(data, 1 << 12);
+  CHECK_OK(all);
+  CHECK_NEAR(all->err_squared, 0.0, 1e-6);
+
+  // err_squared matches the reconstruction it ships.
+  double direct = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double d = data[i] - coarse->reconstruction[i];
+    direct += d * d;
+  }
+  CHECK_NEAR(direct, coarse->err_squared, 1e-6 * (1.0 + direct));
+}
+
+TEST(AhistStaysWithinDeltaOfExact) {
+  HistDatasetOptions options;
+  options.domain_size = 300;
+  const std::vector<double> data = MakeHistDataset(options);
+  for (int64_t k : {4, 8}) {
+    auto exact = VOptimalHistogram(data, k);
+    CHECK_OK(exact);
+    for (double delta : {0.5, 2.0}) {
+      auto approx = ApproxVOptimalHistogram(data, k, AhistOptions{delta});
+      CHECK_OK(approx);
+      CHECK(approx->histogram.num_pieces() <= k);
+      CHECK(approx->err_squared >= exact->err_squared - 1e-9);
+      CHECK(approx->err_squared <=
+            (1.0 + delta) * exact->err_squared + 1e-9);
+    }
+  }
+  CHECK(!ApproxVOptimalHistogram(data, 4, AhistOptions{0.0}).ok());
+}
+
+TEST(DualGreedyRespectsBudget) {
+  const std::vector<double> flat = PiecewiseConstantData();
+  auto exact_fit = DualPrimal(flat, 3);
+  CHECK_OK(exact_fit);
+  CHECK(exact_fit->histogram.num_pieces() <= 3);
+  CHECK_NEAR(exact_fit->err_squared, 0.0, 1e-9);
+
+  HistDatasetOptions options;
+  options.domain_size = 400;
+  const std::vector<double> noisy = MakeHistDataset(options);
+  for (int64_t budget : {5, 11}) {
+    auto dual = DualPrimal(noisy, budget);
+    CHECK_OK(dual);
+    CHECK(dual->histogram.num_pieces() <= budget);
+    // Never better than the true optimum at the same budget.
+    CHECK(dual->err_squared >= *OptK(noisy, budget) * *OptK(noisy, budget) -
+                                   1e-6);
+  }
+  CHECK(!DualPrimal(noisy, 0).ok());
+}
+
+}  // namespace
+}  // namespace fasthist

@@ -1,0 +1,55 @@
+#include <vector>
+
+#include "data/dow.h"
+#include "data/generators.h"
+#include "tests/fasthist_test.h"
+
+namespace fasthist {
+namespace {
+
+TEST(GeneratorsAreDeterministicAndSized) {
+  const std::vector<double> hist = MakeHistDataset();
+  const std::vector<double> poly = MakePolyDataset();
+  const std::vector<double> dow = MakeDowDataset();
+  CHECK(hist.size() == 1000);
+  CHECK(poly.size() == 4000);
+  CHECK(dow.size() == 16384);
+
+  CHECK(MakeHistDataset() == hist);
+  CHECK(MakePolyDataset() == poly);
+  CHECK(MakeDowDataset() == dow);
+
+  PolyDatasetOptions alt;
+  alt.domain_size = 4000;
+  alt.seed = 99;
+  CHECK(MakePolyDataset(alt) != poly);
+
+  HistDatasetOptions small;
+  small.domain_size = 2000;
+  CHECK(MakeHistDataset(small).size() == 2000);
+
+  // Dow values stay strictly positive (normalizable, equi-depth safe).
+  for (double v : dow) CHECK(v > 0.0);
+}
+
+TEST(SubsampleUniformStrides) {
+  const std::vector<double> data{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  auto by2 = SubsampleUniform(data, 2);
+  CHECK_OK(by2);
+  CHECK((*by2 == std::vector<double>{0.0, 2.0, 4.0, 6.0}));
+  auto by3 = SubsampleUniform(data, 3);
+  CHECK_OK(by3);
+  CHECK((*by3 == std::vector<double>{0.0, 3.0, 6.0}));
+  auto by1 = SubsampleUniform(data, 1);
+  CHECK_OK(by1);
+  CHECK(*by1 == data);
+  CHECK(!SubsampleUniform(data, 0).ok());
+  CHECK(!SubsampleUniform({}, 2).ok());
+
+  // The learning benches rely on 4000/4 and 16384/16 landing near 1000.
+  CHECK(SubsampleUniform(MakePolyDataset(), 4)->size() == 1000);
+  CHECK(SubsampleUniform(MakeDowDataset(), 16)->size() == 1024);
+}
+
+}  // namespace
+}  // namespace fasthist

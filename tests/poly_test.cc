@@ -1,0 +1,103 @@
+#include <cmath>
+#include <vector>
+
+#include "core/merging.h"
+#include "poly/fit_poly.h"
+#include "poly/gram.h"
+#include "poly/poly_merging.h"
+#include "tests/fasthist_test.h"
+
+namespace fasthist {
+namespace {
+
+TEST(GramBasisIsOrthonormal) {
+  const int64_t n = 64;
+  const int degree = 6;
+  auto basis = GramBasis::Create(n, degree);
+  CHECK_OK(basis);
+
+  // Evaluate all basis polynomials on the grid and check <p_i, p_j> = δij.
+  std::vector<std::vector<double>> values(static_cast<size_t>(n));
+  for (int64_t x = 0; x < n; ++x) {
+    basis->EvaluateAt(static_cast<double>(x), &values[static_cast<size_t>(x)]);
+  }
+  for (int i = 0; i <= degree; ++i) {
+    for (int j = 0; j <= degree; ++j) {
+      double inner = 0.0;
+      for (int64_t x = 0; x < n; ++x) {
+        inner += values[static_cast<size_t>(x)][static_cast<size_t>(i)] *
+                 values[static_cast<size_t>(x)][static_cast<size_t>(j)];
+      }
+      CHECK_NEAR(inner, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  CHECK(!GramBasis::Create(4, 4).ok());  // degree must be < num_points
+  CHECK(!GramBasis::Create(0, 0).ok());
+}
+
+TEST(FitPolyIsExactOnPolynomials) {
+  // q(x) = a cubic; degree-3 projection must recover it exactly, degree-2
+  // must leave a residual.
+  const int64_t n = 128;
+  std::vector<double> dense(static_cast<size_t>(n));
+  for (int64_t x = 0; x < n; ++x) {
+    const double t = static_cast<double>(x);
+    dense[static_cast<size_t>(x)] = 1.0 + 0.5 * t - 0.02 * t * t + 1e-4 * t * t * t;
+  }
+  const SparseFunction q = SparseFunction::FromDense(dense);
+  const Interval interval{0, n};
+
+  auto exact = FitPoly(q, interval, 3);
+  CHECK_OK(exact);
+  CHECK_NEAR(exact->err_squared, 0.0, 1e-6);
+  for (int64_t x : {int64_t{0}, int64_t{17}, n - 1}) {
+    CHECK_NEAR(exact->EvaluateAt(x), dense[static_cast<size_t>(x)], 1e-6);
+  }
+
+  auto under = FitPoly(q, interval, 2);
+  CHECK_OK(under);
+  CHECK(under->err_squared > 1e-3);
+
+  // Degree is capped by the interval length.
+  auto tiny = FitPoly(q, {5, 7}, 8);
+  CHECK_OK(tiny);
+  CHECK_NEAR(tiny->err_squared, 0.0, 1e-9);
+  CHECK(!FitPoly(q, {10, 10}, 1).ok());
+  CHECK(!FitPoly(q, {0, n + 1}, 1).ok());
+}
+
+TEST(PiecewisePolynomialBeatsHistogramOnSmoothData) {
+  // A smooth quartic: at an equal piece budget, degree-4 pieces must fit
+  // far better than flat pieces.
+  const int64_t n = 1024;
+  std::vector<double> dense(static_cast<size_t>(n));
+  for (int64_t x = 0; x < n; ++x) {
+    const double t = static_cast<double>(x) / static_cast<double>(n);
+    dense[static_cast<size_t>(x)] =
+        50.0 + 80.0 * t * (1.0 - t) * (0.3 - t) * (0.9 - t);
+  }
+  const SparseFunction q = SparseFunction::FromDense(dense);
+  const int64_t k = 4;
+
+  auto poly = ConstructPiecewisePolynomial(q, k, 4);
+  CHECK_OK(poly);
+  auto hist = ConstructHistogram(q, k);
+  CHECK_OK(hist);
+  CHECK(poly->function.num_pieces() <= 2 * k + 1);
+  CHECK(poly->err_squared < 0.01 * hist->err_squared);
+
+  // The returned function tiles the domain and reproduces err_squared.
+  double direct = 0.0;
+  const std::vector<double> fitted = poly->function.ToDense();
+  for (size_t i = 0; i < dense.size(); ++i) {
+    const double d = dense[i] - fitted[i];
+    direct += d * d;
+  }
+  CHECK_NEAR(direct, poly->err_squared, 1e-6 * (1.0 + direct));
+
+  CHECK(!ConstructPiecewisePolynomial(q, 0, 2).ok());
+  CHECK(!ConstructPiecewisePolynomial(q, 4, -1).ok());
+}
+
+}  // namespace
+}  // namespace fasthist

@@ -1,0 +1,93 @@
+// Satellite task: StreamingHistogramBuilder snapshots must match the batch
+// pipeline (EmpiricalDistribution + ConstructHistogram over all samples)
+// within tolerance, across buffer sizes 512 / 4096 / 32768.
+
+#include <cmath>
+#include <vector>
+
+#include "core/merging.h"
+#include "core/streaming.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "dist/l2.h"
+#include "tests/fasthist_test.h"
+#include "util/random.h"
+
+namespace fasthist {
+namespace {
+
+// Shared fixture: 100k samples from a hist-shaped distribution on [2000].
+const std::vector<int64_t>& Samples() {
+  static const std::vector<int64_t>* samples = [] {
+    HistDatasetOptions options;
+    options.domain_size = 2000;
+    auto p = NormalizeToDistribution(MakeHistDataset(options)).value();
+    auto sampler = AliasSampler::Create(p).value();
+    Rng rng(424242);
+    return new std::vector<int64_t>(sampler.SampleMany(100000, &rng));
+  }();
+  return *samples;
+}
+
+void CheckStreamingMatchesBatch(size_t buffer_capacity) {
+  const int64_t domain = 2000;
+  const int64_t k = 10;
+  const std::vector<int64_t>& samples = Samples();
+
+  auto builder = StreamingHistogramBuilder::Create(domain, k, buffer_capacity);
+  CHECK_OK(builder);
+  CHECK(builder->AddMany(samples).ok());
+  CHECK(builder->num_samples() == static_cast<int64_t>(samples.size()));
+  auto snapshot = builder->Snapshot();
+  CHECK_OK(snapshot);
+  CHECK_NEAR(snapshot->TotalMass(), 1.0, 1e-6);
+
+  auto empirical = EmpiricalDistribution(domain, samples);
+  CHECK_OK(empirical);
+  auto batch = ConstructHistogram(*empirical, k);
+  CHECK_OK(batch);
+
+  // Both summaries approximate the same empirical distribution; the
+  // streaming one pays a bounded extra error per merge level (Lemma 4.2).
+  const double streaming_err =
+      std::sqrt(snapshot->L2DistanceSquaredTo(*empirical));
+  const double batch_err = std::sqrt(batch->err_squared);
+  CHECK(streaming_err <= 3.0 * batch_err + 0.01);
+
+  // And they are close to each other as functions.
+  const double gap_sq = L2DistanceSquared(
+      *snapshot, batch->histogram.ToDense());
+  CHECK(std::sqrt(gap_sq) <= 0.05);
+}
+
+TEST(StreamingMatchesBatchBuffer512) { CheckStreamingMatchesBatch(512); }
+TEST(StreamingMatchesBatchBuffer4096) { CheckStreamingMatchesBatch(4096); }
+TEST(StreamingMatchesBatchBuffer32768) { CheckStreamingMatchesBatch(32768); }
+
+TEST(StreamingBuilderEdgeCases) {
+  auto builder = StreamingHistogramBuilder::Create(100, 3, 16);
+  CHECK_OK(builder);
+  // Empty snapshot: the uniform distribution.
+  auto empty = builder->Snapshot();
+  CHECK_OK(empty);
+  CHECK_NEAR(empty->TotalMass(), 1.0, 1e-12);
+  CHECK_NEAR(empty->ValueAt(50), 0.01, 1e-12);
+
+  CHECK(!builder->Add(-1).ok());
+  CHECK(!builder->Add(100).ok());
+  CHECK(builder->Add(7).ok());
+  // Snapshot mid-buffer flushes and stays reusable.
+  auto one = builder->Snapshot();
+  CHECK_OK(one);
+  CHECK_NEAR(one->TotalMass(), 1.0, 1e-9);
+  CHECK(builder->Add(8).ok());
+  CHECK(builder->num_samples() == 2);
+
+  CHECK(!StreamingHistogramBuilder::Create(0, 3, 16).ok());
+  CHECK(!StreamingHistogramBuilder::Create(100, 0, 16).ok());
+  CHECK(!StreamingHistogramBuilder::Create(100, 3, 0).ok());
+}
+
+}  // namespace
+}  // namespace fasthist

@@ -1,0 +1,92 @@
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "tests/fasthist_test.h"
+#include "util/random.h"
+#include "util/selection.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace fasthist {
+namespace {
+
+TEST(TimerIsMonotonic) {
+  WallTimer timer;
+  double last = timer.ElapsedMillis();
+  CHECK(last >= 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double now = timer.ElapsedMillis();
+  CHECK(now >= last);
+  timer.Restart();
+  CHECK(timer.ElapsedMillis() <= now);
+}
+
+TEST(RunningStatsMatchesClosedForm) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  CHECK(stats.Count() == 8);
+  CHECK_NEAR(stats.Mean(), 5.0, 1e-12);
+  // Sample variance of the set is 32/7.
+  CHECK_NEAR(stats.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  CHECK_NEAR(stats.Min(), 2.0, 0.0);
+  CHECK_NEAR(stats.Max(), 9.0, 0.0);
+  CHECK_NEAR(Mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+  CHECK_NEAR(StdDev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(SelectionAgreesWithSorting) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(500));
+    std::vector<double> values(n);
+    for (double& v : values) {
+      v = trial % 2 == 0 ? rng.Gaussian()
+                         : static_cast<double>(rng.UniformInt(5));  // ties
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t k = static_cast<size_t>(rng.UniformInt(static_cast<int64_t>(n)));
+    CHECK_NEAR(SelectKth(values, k), sorted[k], 0.0);
+    CHECK_NEAR(SelectKthMedianOfMedians(values, k), sorted[k], 0.0);
+  }
+}
+
+TEST(RngIsDeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const double x = a.UniformDouble();
+    CHECK_NEAR(x, b.UniformDouble(), 0.0);
+    CHECK(x >= 0.0 && x < 1.0);
+    if (x != c.UniformDouble()) all_equal_c = false;
+  }
+  CHECK(!all_equal_c);
+  // Gaussian moments, loosely.
+  Rng g(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(g.Gaussian());
+  CHECK_NEAR(stats.Mean(), 0.0, 0.05);
+  CHECK_NEAR(stats.StdDev(), 1.0, 0.05);
+}
+
+TEST(TablePrinterFormatsAndPrints) {
+  CHECK(TablePrinter::FormatDouble(3.14159, 2) == "3.14");
+  CHECK(TablePrinter::FormatDouble(2.0, 0) == "2");
+  CHECK(TablePrinter::FormatInt(-42) == "-42");
+
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", TablePrinter::FormatInt(1)});
+  table.AddRow({"beta"});  // short rows pad
+  std::ostringstream pretty, csv;
+  table.Print(pretty);
+  table.Dump(csv);
+  CHECK(pretty.str().find("alpha") != std::string::npos);
+  CHECK(pretty.str().find("name") != std::string::npos);
+  CHECK(csv.str() == "name,value\nalpha,1\nbeta,\n");
+}
+
+}  // namespace
+}  // namespace fasthist

@@ -1,0 +1,62 @@
+#ifndef FASTHIST_UTIL_RANDOM_H_
+#define FASTHIST_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace fasthist {
+
+// Seedable pseudo-random generator used across the library.  The variate
+// transforms (uniform doubles via the top 53 bits, Gaussians via Marsaglia's
+// polar method) are implemented by hand so that a fixed seed reproduces the
+// same stream on every platform/standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t NextUint64() { return engine_(); }
+
+  // Uniform in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [0, n); n must be positive.  Unbiased via rejection.
+  int64_t UniformInt(int64_t n) {
+    const uint64_t un = static_cast<uint64_t>(n);
+    const uint64_t limit = ~uint64_t{0} - ~uint64_t{0} % un;
+    uint64_t x;
+    do {
+      x = engine_();
+    } while (x >= limit);
+    return static_cast<int64_t>(x % un);
+  }
+
+  // Standard normal N(0, 1).
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * UniformDouble() - 1.0;
+      v = 2.0 * UniformDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return u * f;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_RANDOM_H_

@@ -1,0 +1,83 @@
+#include "util/selection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fasthist {
+namespace {
+
+// Sorts [lo, hi) of at most 5 elements and returns the index of its median.
+size_t MedianOfFive(std::vector<double>* v, size_t lo, size_t hi) {
+  std::sort(v->begin() + static_cast<ptrdiff_t>(lo),
+            v->begin() + static_cast<ptrdiff_t>(hi));
+  return lo + (hi - lo - 1) / 2;
+}
+
+// Deterministic select on [lo, hi): returns the value of rank k within the
+// subrange (k is 0-indexed relative to lo).
+double MomSelect(std::vector<double>* v, size_t lo, size_t hi, size_t k) {
+  while (true) {
+    const size_t n = hi - lo;
+    if (n <= 5) {
+      std::sort(v->begin() + static_cast<ptrdiff_t>(lo),
+                v->begin() + static_cast<ptrdiff_t>(hi));
+      return (*v)[lo + k];
+    }
+
+    // Gather the median of each group of 5 at the front of the range, then
+    // recurse to find the median of those medians as the pivot.
+    size_t num_medians = 0;
+    for (size_t i = lo; i < hi; i += 5) {
+      const size_t group_hi = std::min(i + 5, hi);
+      const size_t median_index = MedianOfFive(v, i, group_hi);
+      std::swap((*v)[lo + num_medians], (*v)[median_index]);
+      ++num_medians;
+    }
+    const double pivot =
+        MomSelect(v, lo, lo + num_medians, (num_medians - 1) / 2);
+
+    // Three-way partition around the pivot value.
+    size_t lt = lo, i = lo, gt = hi;
+    while (i < gt) {
+      if ((*v)[i] < pivot) {
+        std::swap((*v)[lt++], (*v)[i++]);
+      } else if ((*v)[i] > pivot) {
+        std::swap((*v)[i], (*v)[--gt]);
+      } else {
+        ++i;
+      }
+    }
+    const size_t num_less = lt - lo;
+    const size_t num_equal = gt - lt;
+    if (k < num_less) {
+      hi = lt;
+    } else if (k < num_less + num_equal) {
+      return pivot;
+    } else {
+      k -= num_less + num_equal;
+      lo = gt;
+    }
+  }
+}
+
+[[noreturn]] void FailOutOfRange(const char* fn) {
+  std::fprintf(stderr, "fasthist: %s: rank out of range\n", fn);
+  std::abort();
+}
+
+}  // namespace
+
+double SelectKth(std::vector<double> values, size_t k) {
+  if (k >= values.size()) FailOutOfRange("SelectKth");
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+double SelectKthMedianOfMedians(std::vector<double> values, size_t k) {
+  if (k >= values.size()) FailOutOfRange("SelectKthMedianOfMedians");
+  return MomSelect(&values, 0, values.size(), k);
+}
+
+}  // namespace fasthist

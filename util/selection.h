@@ -1,0 +1,22 @@
+#ifndef FASTHIST_UTIL_SELECTION_H_
+#define FASTHIST_UTIL_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fasthist {
+
+// Order statistics.  Both functions return the k-th smallest element
+// (0-indexed, i.e. the element that would sit at `values[k]` after sorting)
+// and take the vector by value because selection permutes it.
+//
+// SelectKth uses std::nth_element (introselect, expected O(n)).
+// SelectKthMedianOfMedians is the deterministic worst-case O(n) algorithm
+// (groups of 5); it is the selection primitive Theorem 3.4's sample-linear
+// merging variant relies on, and the test suite cross-checks the two.
+double SelectKth(std::vector<double> values, size_t k);
+double SelectKthMedianOfMedians(std::vector<double> values, size_t k);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_SELECTION_H_

@@ -1,0 +1,56 @@
+#ifndef FASTHIST_UTIL_STATS_H_
+#define FASTHIST_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fasthist {
+
+// Single-pass summary statistics (Welford's update, numerically stable).
+// StdDev is the sample standard deviation (n - 1 denominator), matching how
+// the benches report spread over repeated trials.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  int64_t Count() const { return count_; }
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double StdDev() const {
+    if (count_ < 2) return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
+  double Min() const { return count_ > 0 ? min_ : 0.0; }
+  double Max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+inline double Mean(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.Mean();
+}
+
+inline double StdDev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.StdDev();
+}
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_STATS_H_

@@ -1,0 +1,91 @@
+#ifndef FASTHIST_UTIL_STATUS_H_
+#define FASTHIST_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fasthist {
+
+// Minimal absl-style Status / StatusOr, kept dependency-free.  Every layer
+// of the library reports recoverable errors through these types; accessing
+// `value()` on an error aborts with the message (the bench drivers treat
+// setup errors as fatal, and tests use CHECK_OK to surface them).
+class Status {
+ public:
+  Status() = default;
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string message) {
+    return Status(std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message)
+      : ok_(false), message_(std::move(message)) {}
+
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    if (status_.ok()) Fail("StatusOr constructed from an OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& operator*() & {
+    EnsureOk();
+    return *value_;
+  }
+  const T* operator->() const {
+    EnsureOk();
+    return &*value_;
+  }
+  T* operator->() {
+    EnsureOk();
+    return &*value_;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) Fail(status_.message().c_str());
+  }
+  [[noreturn]] static void Fail(const char* message) {
+    std::fprintf(stderr, "fasthist: StatusOr access failed: %s\n", message);
+    std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_STATUS_H_

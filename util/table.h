@@ -1,0 +1,34 @@
+#ifndef FASTHIST_UTIL_TABLE_H_
+#define FASTHIST_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fasthist {
+
+// Fixed-width text table used by every bench driver to reproduce the paper's
+// tables.  Rows are added as pre-formatted cells; `Print` renders an aligned
+// ASCII table and `Dump` emits the same data as CSV (for plotting).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Missing trailing cells are rendered empty; extra cells are an error and
+  // abort (a malformed bench table is a programming bug, not runtime input).
+  void AddRow(std::vector<std::string> cells);
+
+  static std::string FormatDouble(double value, int digits);
+  static std::string FormatInt(long long value);
+
+  void Print(std::ostream& os) const;
+  void Dump(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_TABLE_H_

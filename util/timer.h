@@ -1,0 +1,31 @@
+#ifndef FASTHIST_UTIL_TIMER_H_
+#define FASTHIST_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace fasthist {
+
+// Monotonic wall-clock timer.  Starts at construction; `Restart` rewinds it.
+// Backed by std::chrono::steady_clock so it is immune to system clock
+// adjustments (same contract as the CLOCK_MONOTONIC idiom in PHAST's timer).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() * 1e-3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_TIMER_H_
