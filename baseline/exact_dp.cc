@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baseline/internal/partition_dp.h"
+
 namespace fasthist {
 namespace {
 
@@ -37,36 +39,6 @@ Status Validate(const std::vector<double>& data, int64_t k) {
   return Status::Ok();
 }
 
-// Runs the DP; fills `parent` (piece-count-major) iff non-null and returns
-// the optimal squared error with at most k pieces.
-double RunDp(const Prefix& prefix, size_t n, size_t k,
-             std::vector<std::vector<int32_t>>* parent) {
-  std::vector<double> prev(n + 1), cur(n + 1);
-  prev[0] = 0.0;
-  for (size_t i = 1; i <= n; ++i) prev[i] = prefix.Cost(0, i);
-  if (parent != nullptr) {
-    parent->assign(k + 1, std::vector<int32_t>(n + 1, 0));
-  }
-  for (size_t j = 2; j <= k; ++j) {
-    for (size_t i = 0; i <= n; ++i) cur[i] = prev[i];
-    for (size_t i = j; i <= n; ++i) {
-      double best = prev[i - 1];  // t = i-1: last piece is a singleton
-      int32_t best_t = static_cast<int32_t>(i - 1);
-      for (size_t t = j - 1; t + 1 < i; ++t) {
-        const double candidate = prev[t] + prefix.Cost(t, i);
-        if (candidate < best) {
-          best = candidate;
-          best_t = static_cast<int32_t>(t);
-        }
-      }
-      cur[i] = best;
-      if (parent != nullptr) (*parent)[j][i] = best_t;
-    }
-    prev.swap(cur);
-  }
-  return prev[n];
-}
-
 }  // namespace
 
 StatusOr<VOptimalResult> VOptimalHistogram(const std::vector<double>& data,
@@ -75,25 +47,17 @@ StatusOr<VOptimalResult> VOptimalHistogram(const std::vector<double>& data,
   const size_t n = data.size();
   const size_t kk = std::min(static_cast<size_t>(k), n);
   const Prefix prefix(data);
+  const auto cost = [&prefix](size_t a, size_t b) {
+    return prefix.Cost(a, b);
+  };
 
   std::vector<std::vector<int32_t>> parent;
   VOptimalResult result;
-  result.err_squared = RunDp(prefix, n, kk, &parent);
-
-  // Walk the parents back from (kk, n); with j = 1 the remaining prefix is
-  // one piece starting at 0.
-  std::vector<size_t> boundaries;  // piece end positions, reversed
-  size_t i = n;
-  for (size_t j = kk; j >= 2 && i > 0; --j) {
-    boundaries.push_back(i);
-    i = static_cast<size_t>(parent[j][i]);
-  }
-  boundaries.push_back(i);
+  result.err_squared = internal::PartitionDp(cost, n, kk, &parent);
 
   std::vector<HistogramPiece> pieces;
   size_t begin = 0;
-  for (auto it = boundaries.rbegin(); it != boundaries.rend(); ++it) {
-    const size_t end = *it;
+  for (size_t end : internal::PartitionBacktrack(parent, kk, n)) {
     if (end == begin) continue;
     pieces.push_back({{static_cast<int64_t>(begin), static_cast<int64_t>(end)},
                       prefix.MeanOf(begin, end)});
@@ -111,7 +75,10 @@ StatusOr<double> OptK(const std::vector<double>& data, int64_t k) {
   const size_t n = data.size();
   const size_t kk = std::min(static_cast<size_t>(k), n);
   const Prefix prefix(data);
-  return std::sqrt(RunDp(prefix, n, kk, nullptr));
+  const auto cost = [&prefix](size_t a, size_t b) {
+    return prefix.Cost(a, b);
+  };
+  return std::sqrt(internal::PartitionDp(cost, n, kk, nullptr));
 }
 
 }  // namespace fasthist

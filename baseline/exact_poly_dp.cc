@@ -1,0 +1,105 @@
+#include "baseline/exact_poly_dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/internal/partition_dp.h"
+#include "poly/fit_poly.h"
+#include "poly/gram.h"
+
+namespace fasthist {
+namespace {
+
+Status Validate(const std::vector<double>& data, int64_t k, int degree) {
+  if (data.empty()) return Status::Invalid("ExactPiecewisePolyDp: empty data");
+  if (k < 1) return Status::Invalid("ExactPiecewisePolyDp: k must be >= 1");
+  if (degree < 0) {
+    return Status::Invalid("ExactPiecewisePolyDp: degree must be >= 0");
+  }
+  return Status::Ok();
+}
+
+// All-intervals cost table: cost[a * (n + 1) + b] is the squared residual
+// of the best degree-<=d polynomial on [a, b).  Unlike the flat case there
+// is no prefix-sum shortcut (the orthonormal basis depends on the interval
+// length), so each entry is a fresh projection: c_j = <data, p_j>, residual
+// = ||data||^2 - ||c||^2, clamped against cancellation like FitPoly.
+class CostTable {
+ public:
+  CostTable(const std::vector<double>& data, int degree)
+      : n_(data.size()), table_(n_ * (n_ + 1), 0.0) {
+    GramBasisCache cache(degree);
+    std::vector<double> basis_values;
+    std::vector<double> prefix_sumsq(n_ + 1, 0.0);
+    for (size_t i = 0; i < n_; ++i) {
+      prefix_sumsq[i + 1] = prefix_sumsq[i] + data[i] * data[i];
+    }
+    std::vector<double> coefficients;
+    for (size_t a = 0; a < n_; ++a) {
+      for (size_t b = a + 1; b <= n_; ++b) {
+        const GramBasis& basis = cache.For(static_cast<int64_t>(b - a));
+        coefficients.assign(static_cast<size_t>(basis.degree()) + 1, 0.0);
+        for (size_t x = a; x < b; ++x) {
+          basis.EvaluateAt(static_cast<double>(x - a), &basis_values);
+          for (size_t j = 0; j < coefficients.size(); ++j) {
+            coefficients[j] += data[x] * basis_values[j];
+          }
+        }
+        double coeff_norm_sq = 0.0;
+        for (double c : coefficients) coeff_norm_sq += c * c;
+        table_[a * (n_ + 1) + b] =
+            std::max(0.0, prefix_sumsq[b] - prefix_sumsq[a] - coeff_norm_sq);
+      }
+    }
+  }
+
+  double operator()(size_t a, size_t b) const {
+    return table_[a * (n_ + 1) + b];
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> table_;
+};
+
+}  // namespace
+
+StatusOr<ExactPolyDpResult> ExactPiecewisePolyDp(
+    const std::vector<double>& data, int64_t k, int degree) {
+  if (Status s = Validate(data, k, degree); !s.ok()) return s;
+  const size_t n = data.size();
+  const size_t kk = std::min(static_cast<size_t>(k), n);
+  const CostTable cost(data, degree);
+
+  std::vector<std::vector<int32_t>> parent;
+  ExactPolyDpResult result;
+  result.err_squared = internal::PartitionDp(cost, n, kk, &parent);
+
+  const SparseFunction q = SparseFunction::FromDense(data);
+  std::vector<PolyFit> pieces;
+  size_t begin = 0;
+  for (size_t end : internal::PartitionBacktrack(parent, kk, n)) {
+    if (end == begin) continue;
+    auto fit = FitPoly(
+        q, {static_cast<int64_t>(begin), static_cast<int64_t>(end)}, degree);
+    if (!fit.ok()) return fit.status();
+    pieces.push_back(std::move(fit).value());
+    begin = end;
+  }
+  auto function =
+      PiecewisePolynomial::Create(static_cast<int64_t>(n), std::move(pieces));
+  if (!function.ok()) return function.status();
+  result.function = std::move(function).value();
+  return result;
+}
+
+StatusOr<double> PolyOptK(const std::vector<double>& data, int64_t k,
+                          int degree) {
+  if (Status s = Validate(data, k, degree); !s.ok()) return s;
+  const size_t n = data.size();
+  const size_t kk = std::min(static_cast<size_t>(k), n);
+  const CostTable cost(data, degree);
+  return std::sqrt(internal::PartitionDp(cost, n, kk, nullptr));
+}
+
+}  // namespace fasthist

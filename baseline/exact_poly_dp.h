@@ -1,0 +1,36 @@
+#ifndef FASTHIST_BASELINE_EXACT_POLY_DP_H_
+#define FASTHIST_BASELINE_EXACT_POLY_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/poly_merging.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+struct ExactPolyDpResult {
+  PiecewisePolynomial function;
+  double err_squared = 0.0;
+};
+
+// The exact k-piece degree-d piecewise polynomial: V-optimal [JKM+98]
+// generalized from flat pieces to degree-<=d least-squares fits.  Interval
+// costs are the FitPolynomial residuals through the orthonormal Gram basis
+// (one basis per interval length, cached), the partition is the same
+// O(n^2 k) dynamic program as baseline/exact_dp.cc on top of an O(n^3 d)
+// cost table.  Deliberately cubic: this is the accuracy gold standard the
+// merging construction's sqrt(1 + delta) guarantee is tested against
+// (tests/property_test.cc), not a serving path — keep n in the hundreds.
+// With degree = 0 it agrees with VOptimalHistogram exactly.
+StatusOr<ExactPolyDpResult> ExactPiecewisePolyDp(
+    const std::vector<double>& data, int64_t k, int degree);
+
+// poly-opt_k = the l2 error (not squared) of the best k-piece degree-d
+// piecewise polynomial; the same DP without materializing the witness.
+StatusOr<double> PolyOptK(const std::vector<double>& data, int64_t k,
+                          int degree);
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_EXACT_POLY_DP_H_

@@ -1,0 +1,64 @@
+#ifndef FASTHIST_BASELINE_INTERNAL_PARTITION_DP_H_
+#define FASTHIST_BASELINE_INTERNAL_PARTITION_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fasthist {
+namespace internal {
+
+// The classic V-optimal partition dynamic program [JKM+98], generic over
+// the interval-cost oracle: cost(a, b) is the squared residual of the best
+// single piece on [a, b) under whatever piece family the caller optimizes
+// (flat values in baseline/exact_dp.cc, degree-d polynomials in
+// baseline/exact_poly_dp.cc).  Fills `parent` (piece-count-major) iff
+// non-null and returns the optimal squared error with at most k pieces.
+template <typename CostFn>
+double PartitionDp(const CostFn& cost, size_t n, size_t k,
+                   std::vector<std::vector<int32_t>>* parent) {
+  std::vector<double> prev(n + 1), cur(n + 1);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) prev[i] = cost(0, i);
+  if (parent != nullptr) {
+    parent->assign(k + 1, std::vector<int32_t>(n + 1, 0));
+  }
+  for (size_t j = 2; j <= k; ++j) {
+    for (size_t i = 0; i <= n; ++i) cur[i] = prev[i];
+    for (size_t i = j; i <= n; ++i) {
+      double best = prev[i - 1];  // t = i-1: last piece is a singleton
+      int32_t best_t = static_cast<int32_t>(i - 1);
+      for (size_t t = j - 1; t + 1 < i; ++t) {
+        const double candidate = prev[t] + cost(t, i);
+        if (candidate < best) {
+          best = candidate;
+          best_t = static_cast<int32_t>(t);
+        }
+      }
+      cur[i] = best;
+      if (parent != nullptr) (*parent)[j][i] = best_t;
+    }
+    prev.swap(cur);
+  }
+  return prev[n];
+}
+
+// Walks the parents back from (kk, n) and returns the piece end positions
+// in ascending order (the last entry is n; with j = 1 the remaining prefix
+// is one piece starting at 0).  Adjacent duplicates are possible when the
+// optimum uses fewer than kk pieces — callers skip empty intervals.
+inline std::vector<size_t> PartitionBacktrack(
+    const std::vector<std::vector<int32_t>>& parent, size_t kk, size_t n) {
+  std::vector<size_t> boundaries;
+  size_t i = n;
+  for (size_t j = kk; j >= 2 && i > 0; --j) {
+    boundaries.push_back(i);
+    i = static_cast<size_t>(parent[j][i]);
+  }
+  boundaries.push_back(i);
+  return std::vector<size_t>(boundaries.rbegin(), boundaries.rend());
+}
+
+}  // namespace internal
+}  // namespace fasthist
+
+#endif  // FASTHIST_BASELINE_INTERNAL_PARTITION_DP_H_

@@ -1,13 +1,18 @@
 // Theorem 2.3 / Corollary 4.1: piecewise polynomial approximation.  On the
 // poly data set (a noisy degree-5 polynomial) we sweep the degree d and
-// report pieces / error / time, showing (i) polynomials beat histograms at
-// equal piece budgets on smooth data and (ii) the fitting time grows mildly
-// with d (our oracle is O(d) per point; the paper's bound is O(d^2)).
+// report pieces / error / time for both engine speeds, showing (i)
+// polynomials beat histograms at equal piece budgets on smooth data,
+// (ii) the fitting time grows mildly with d (our oracle is O(d) per point;
+// the paper's bound is O(d^2)), and (iii) the selection-based fast path
+// returns the sort-based reference's output identically while shaving the
+// per-round sort.  A final table checks the sqrt(1 + delta) guarantee
+// against the exact degree-d DP on a small prefix.
 
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "baseline/exact_poly_dp.h"
 #include "bench/bench_util.h"
 #include "core/merging.h"
 #include "data/generators.h"
@@ -28,19 +33,30 @@ int Main(int argc, char** argv) {
   const int64_t k = 10;
 
   std::cout << "poly data set (n=" << data.size() << ", k=" << k
-            << ", degree sweep):\n";
-  TablePrinter table({"degree", "pieces", "error(l2)", "time(ms)"});
+            << ", degree sweep; sort = reference, select = fast path):\n";
+  TablePrinter table({"degree", "pieces", "error(l2)", "sort(ms)",
+                      "select(ms)"});
   for (int d = 0; d <= 8; ++d) {
-    auto result = ConstructPiecewisePolynomial(q, k, d, options);
-    const double millis = bench_util::TimeMillis(
+    auto slow = ConstructPiecewisePolynomial(q, k, d, options);
+    auto fast = ConstructPiecewisePolynomialFast(q, k, d, options);
+    if (slow->function.num_pieces() != fast->function.num_pieces() ||
+        slow->err_squared != fast->err_squared) {
+      std::cout << "FATAL: fast/slow outputs diverge at degree " << d << "\n";
+      return 1;
+    }
+    const double sort_ms = bench_util::TimeMillis(
         [&] { (void)ConstructPiecewisePolynomial(q, k, d, options); },
+        /*min_total_ms=*/30.0, /*max_reps=*/200);
+    const double select_ms = bench_util::TimeMillis(
+        [&] { (void)ConstructPiecewisePolynomialFast(q, k, d, options); },
         /*min_total_ms=*/30.0, /*max_reps=*/200);
     table.AddRow(
         {TablePrinter::FormatInt(d),
          TablePrinter::FormatInt(
-             static_cast<long long>(result->function.num_pieces())),
-         TablePrinter::FormatDouble(std::sqrt(result->err_squared), 2),
-         TablePrinter::FormatDouble(millis, 3)});
+             static_cast<long long>(slow->function.num_pieces())),
+         TablePrinter::FormatDouble(std::sqrt(slow->err_squared), 2),
+         TablePrinter::FormatDouble(sort_ms, 3),
+         TablePrinter::FormatDouble(select_ms, 3)});
   }
   table.Print(std::cout);
 
@@ -59,6 +75,33 @@ int Main(int argc, char** argv) {
                  TablePrinter::FormatDouble(std::sqrt(poly->err_squared), 2)});
   }
   fair.Print(std::cout);
+
+  // Guarantee check against the exact degree-d DP (O(n^3), so a small
+  // prefix): merging error / opt must stay below sqrt(1 + delta).
+  const std::vector<double> prefix(data.begin(), data.begin() + 192);
+  const SparseFunction qp = SparseFunction::FromDense(prefix);
+  const double delta = 2.0;
+  std::cout << "\nvs exact DP (n=" << prefix.size() << ", k=5, delta="
+            << delta << ", bound sqrt(1+delta)="
+            << std::sqrt(1.0 + delta) << "):\n";
+  TablePrinter guarantee({"degree", "merging(l2)", "opt(l2)", "ratio"});
+  for (int d = 0; d <= 3; ++d) {
+    auto merged =
+        ConstructPiecewisePolynomialFast(qp, 5, d, MergingOptions{delta, 1.0});
+    auto opt = PolyOptK(prefix, 5, d);
+    const double merged_err = std::sqrt(merged->err_squared);
+    if (merged_err > std::sqrt(1.0 + delta) * (*opt) + 1e-6) {
+      std::cout << "FATAL: sqrt(1+delta) guarantee violated at degree " << d
+                << ": " << merged_err << " > " << std::sqrt(1.0 + delta)
+                << " * " << *opt << "\n";
+      return 1;
+    }
+    guarantee.AddRow(
+        {TablePrinter::FormatInt(d), TablePrinter::FormatDouble(merged_err, 3),
+         TablePrinter::FormatDouble(*opt, 3),
+         TablePrinter::FormatDouble(*opt > 0.0 ? merged_err / *opt : 1.0, 3)});
+  }
+  guarantee.Print(std::cout);
   return 0;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
+
+#include "poly/fit_poly.h"
 
 namespace fasthist {
 namespace internal {
@@ -13,41 +16,13 @@ double AtomError(const MergeAtom& atom) {
   return std::max(0.0, atom.sumsq - atom.sum * atom.sum / length);
 }
 
-MergeAtom Combine(const MergeAtom& a, const MergeAtom& b) {
-  return MergeAtom{a.begin, b.end, a.sum + b.sum, a.sumsq + b.sumsq};
-}
-
 int64_t PairsKeptPerRound(int64_t k, const MergingOptions& options) {
   const double raw = static_cast<double>(k) * (1.0 + 1.0 / options.delta);
   return std::max(k, static_cast<int64_t>(raw));
 }
 
-}  // namespace
-
-std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q) {
-  const std::vector<int64_t>& indices = q.indices();
-  const std::vector<double>& values = q.values();
-  std::vector<MergeAtom> atoms;
-  atoms.reserve(2 * indices.size() + 1);
-  int64_t cursor = 0;
-  for (size_t s = 0; s < indices.size(); ++s) {
-    const int64_t i = indices[s];
-    if (i > cursor) atoms.push_back({cursor, i, 0.0, 0.0});
-    atoms.push_back({i, i + 1, values[s], values[s] * values[s]});
-    cursor = i + 1;
-  }
-  if (cursor < q.domain_size()) {
-    atoms.push_back({cursor, q.domain_size(), 0.0, 0.0});
-  }
-  if (atoms.empty()) atoms.push_back({0, q.domain_size(), 0.0, 0.0});
-  return atoms;
-}
-
-StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
-                                         std::vector<MergeAtom> atoms,
-                                         int64_t k,
-                                         const MergingOptions& options,
-                                         SelectionStrategy strategy) {
+Status ValidateRoundArgs(int64_t domain_size, int64_t k,
+                         const MergingOptions& options) {
   if (domain_size <= 0) {
     return Status::Invalid("merging: domain must be positive");
   }
@@ -58,28 +33,45 @@ StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
   if (!(options.gamma >= 1.0)) {
     return Status::Invalid("merging: gamma must be >= 1");
   }
+  return Status::Ok();
+}
 
+// Algorithm 1's round skeleton, generic over the atom policy.  A policy
+// supplies
+//   using Atom = ...;                          the partition element
+//   Atom MergePair(const Atom&, const Atom&);  statistics of the union
+//   double ErrorOf(const Atom&);               squared error of an atom
+// and the loop owns everything the guarantee proof depends on: pairing,
+// the strict (error desc, index asc) total order, the keep/stop schedule
+// derived from delta and gamma, and the round recursion
+// s -> ceil(s/2) + keep (strictly decreasing while s > stop >= 2*keep + 1,
+// so termination is structural).  Both selection strategies rank under the
+// same total order, so they pick identical pair sets and the engine's two
+// speeds are bit-for-bit interchangeable for any policy.
+template <typename Policy>
+long long RunRounds(Policy& policy, std::vector<typename Policy::Atom>& atoms,
+                    int64_t k, const MergingOptions& options,
+                    SelectionStrategy strategy) {
   const int64_t keep = PairsKeptPerRound(k, options);
   // gamma stops the rounds early (Corollary 3.1): at most ~2*gamma*keep+1
   // pieces survive, in exchange for fewer rounds over the large partitions.
   const int64_t stop =
       2 * static_cast<int64_t>(options.gamma * static_cast<double>(keep)) + 1;
-  MergingResult result;
+  long long num_rounds = 0;
 
-  std::vector<MergeAtom> candidates;
+  std::vector<typename Policy::Atom> candidates;
   std::vector<double> candidate_err;
   std::vector<size_t> order;
   std::vector<bool> keep_split;
 
-  // Round recursion s -> ceil(s/2) + keep: strictly decreasing while
-  // s > stop >= 2*keep + 1, so termination is structural.
   while (static_cast<int64_t>(atoms.size()) > stop) {
     const size_t num_pairs = atoms.size() / 2;
-    candidates.resize(num_pairs);
+    candidates.clear();
+    candidates.reserve(num_pairs);
     candidate_err.resize(num_pairs);
     for (size_t p = 0; p < num_pairs; ++p) {
-      candidates[p] = Combine(atoms[2 * p], atoms[2 * p + 1]);
-      candidate_err[p] = AtomError(candidates[p]);
+      candidates.push_back(policy.MergePair(atoms[2 * p], atoms[2 * p + 1]));
+      candidate_err[p] = policy.ErrorOf(candidates[p]);
     }
 
     // Rank pairs under the strict total order (error desc, index asc) and
@@ -108,20 +100,99 @@ StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
     keep_split.assign(num_pairs, false);
     for (size_t i = 0; i < num_keep; ++i) keep_split[order[i]] = true;
 
-    std::vector<MergeAtom> next;
+    std::vector<typename Policy::Atom> next;
     next.reserve(num_pairs + num_keep + 1);
     for (size_t p = 0; p < num_pairs; ++p) {
       if (keep_split[p]) {
-        next.push_back(atoms[2 * p]);
-        next.push_back(atoms[2 * p + 1]);
+        next.push_back(std::move(atoms[2 * p]));
+        next.push_back(std::move(atoms[2 * p + 1]));
       } else {
-        next.push_back(candidates[p]);
+        next.push_back(std::move(candidates[p]));
       }
     }
-    if (atoms.size() % 2 == 1) next.push_back(atoms.back());
+    if (atoms.size() % 2 == 1) next.push_back(std::move(atoms.back()));
     atoms.swap(next);
-    ++result.num_rounds;
+    ++num_rounds;
   }
+  return num_rounds;
+}
+
+// Histogram policy: closed-form sufficient statistics, O(1) per merge.
+struct HistogramPolicy {
+  using Atom = MergeAtom;
+  Atom MergePair(const Atom& a, const Atom& b) const {
+    return Atom{a.begin, b.end, a.sum + b.sum, a.sumsq + b.sumsq};
+  }
+  double ErrorOf(const Atom& atom) const { return AtomError(atom); }
+};
+
+// Piecewise-polynomial policy: merging refits the degree-d least-squares
+// projection on the union interval (coefficients are not additive across a
+// boundary, so unlike the histogram moments the merged fit must be
+// recomputed from q's support — O(support-in-interval * degree) per merge,
+// which keeps the whole construction sample-near-linear).
+struct PolyPolicy {
+  using Atom = PolyFit;
+  const SparseFunction* q;
+  GramBasisCache* cache;
+
+  Atom MergePair(const Atom& a, const Atom& b) const {
+    const Interval merged{a.interval.begin, b.interval.end};
+    // Infallible: the union of two in-domain atoms is in-domain and the
+    // cached basis matches its length by construction.
+    return FitPolyWithBasis(*q, merged, cache->For(merged.length())).value();
+  }
+  double ErrorOf(const Atom& fit) const { return fit.err_squared; }
+};
+
+}  // namespace
+
+std::vector<Interval> SupportPartition(const SparseFunction& q) {
+  const std::vector<int64_t>& support = q.indices();
+  std::vector<Interval> intervals;
+  intervals.reserve(2 * support.size() + 1);
+  int64_t cursor = 0;
+  for (int64_t s : support) {
+    if (s > cursor) intervals.push_back({cursor, s});
+    intervals.push_back({s, s + 1});
+    cursor = s + 1;
+  }
+  if (cursor < q.domain_size()) {
+    intervals.push_back({cursor, q.domain_size()});
+  }
+  if (intervals.empty()) intervals.push_back({0, q.domain_size()});
+  return intervals;
+}
+
+std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q) {
+  const std::vector<int64_t>& indices = q.indices();
+  const std::vector<double>& values = q.values();
+  const std::vector<Interval> intervals = SupportPartition(q);
+  std::vector<MergeAtom> atoms;
+  atoms.reserve(intervals.size());
+  size_t s = 0;  // the singleton intervals align with the support in order
+  for (const Interval& interval : intervals) {
+    if (s < indices.size() && interval.begin == indices[s]) {
+      const double v = values[s];
+      atoms.push_back({interval.begin, interval.end, v, v * v});
+      ++s;
+    } else {
+      atoms.push_back({interval.begin, interval.end, 0.0, 0.0});
+    }
+  }
+  return atoms;
+}
+
+StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
+                                         std::vector<MergeAtom> atoms,
+                                         int64_t k,
+                                         const MergingOptions& options,
+                                         SelectionStrategy strategy) {
+  if (Status s = ValidateRoundArgs(domain_size, k, options); !s.ok()) return s;
+
+  HistogramPolicy policy;
+  MergingResult result;
+  result.num_rounds = RunRounds(policy, atoms, k, options, strategy);
 
   std::vector<HistogramPiece> pieces;
   pieces.reserve(atoms.size());
@@ -134,6 +205,39 @@ StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
   auto histogram = Histogram::Create(domain_size, std::move(pieces));
   if (!histogram.ok()) return histogram.status();
   result.histogram = std::move(histogram).value();
+  return result;
+}
+
+StatusOr<PiecewisePolyResult> RunPolyMergingRounds(
+    const SparseFunction& q, int64_t k, int degree,
+    const MergingOptions& options, SelectionStrategy strategy) {
+  if (Status s = ValidateRoundArgs(q.domain_size(), k, options); !s.ok()) {
+    return s;
+  }
+  if (degree < 0) {
+    return Status::Invalid("poly merging: degree must be >= 0");
+  }
+
+  GramBasisCache cache(degree);
+  std::vector<PolyFit> fits;
+  {
+    const std::vector<Interval> initial = SupportPartition(q);
+    fits.reserve(initial.size());
+    for (const Interval& interval : initial) {
+      fits.push_back(
+          FitPolyWithBasis(q, interval, cache.For(interval.length())).value());
+    }
+  }
+
+  PolyPolicy policy{&q, &cache};
+  PiecewisePolyResult result;
+  result.num_rounds = RunRounds(policy, fits, k, options, strategy);
+
+  result.err_squared = 0.0;
+  for (const PolyFit& fit : fits) result.err_squared += fit.err_squared;
+  auto function = PiecewisePolynomial::Create(q.domain_size(), std::move(fits));
+  if (!function.ok()) return function.status();
+  result.function = std::move(function).value();
   return result;
 }
 

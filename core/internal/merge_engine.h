@@ -26,12 +26,25 @@ struct MergeAtom {
 // the textbook O(s log s) formulation; kSelect uses nth_element (the
 // Theorem 3.4 trick) for O(s) per round and — thanks to the strict
 // (error, index) tie-break order — selects exactly the same pair set, so
-// the two strategies produce identical histograms.
+// the two strategies produce identical outputs.
 enum class SelectionStrategy { kSort, kSelect };
+
+// The round loop itself (RunRounds in merge_engine.cc) is generic over an
+// atom policy: the histogram instantiation merges sum/sumsq statistics in
+// O(1), the piecewise-polynomial instantiation refits a Gram-basis
+// least-squares projection on the merged interval.  Both entry points below
+// share the selection strategies, the (error, index) total order, the
+// delta/gamma round schedule, and the termination argument — which is what
+// makes the sqrt(1 + delta) guarantee a single proof (and, later, a single
+// SIMD target).
 
 // Initial sample-linear partition of q: alternating zero-run atoms and
 // singleton support atoms covering [0, domain).
 std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q);
+
+// The interval skeleton of AtomsFromSparse, shared with the polynomial
+// path (whose atoms carry fitted coefficients instead of moments).
+std::vector<Interval> SupportPartition(const SparseFunction& q);
 
 // Runs the merging rounds over `atoms` (which must tile [0, domain_size))
 // and returns the flat-value histogram of the surviving partition.
@@ -40,6 +53,14 @@ StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
                                          int64_t k,
                                          const MergingOptions& options,
                                          SelectionStrategy strategy);
+
+// Runs the same rounds over PolyFit atoms with the degree-`degree`
+// least-squares projection as the merge oracle, starting from the support
+// partition of q.  Backs ConstructPiecewisePolynomial (kSort) and
+// ConstructPiecewisePolynomialFast (kSelect) in poly/poly_merging.h.
+StatusOr<PiecewisePolyResult> RunPolyMergingRounds(
+    const SparseFunction& q, int64_t k, int degree,
+    const MergingOptions& options, SelectionStrategy strategy);
 
 }  // namespace internal
 }  // namespace fasthist

@@ -59,4 +59,17 @@ StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
   return fit;
 }
 
+const GramBasis& GramBasisCache::For(int64_t length) {
+  auto it = cache_.find(length);
+  if (it == cache_.end()) {
+    const int effective_degree =
+        static_cast<int>(std::min<int64_t>(degree_, length - 1));
+    it = cache_
+             .emplace(length,
+                      GramBasis::Create(length, effective_degree).value())
+             .first;
+  }
+  return it->second;
+}
+
 }  // namespace fasthist

@@ -2,6 +2,7 @@
 #define FASTHIST_POLY_FIT_POLY_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "dist/sparse_function.h"
@@ -37,6 +38,22 @@ StatusOr<PolyFit> FitPoly(const SparseFunction& q, const Interval& interval,
 StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
                                    const Interval& interval,
                                    const GramBasis& basis);
+
+// One GramBasis per distinct interval length, built on first use.  The
+// merging rounds and the exact DP baseline revisit the same lengths
+// constantly (every pair of equal length shares a basis), so the cache
+// amortizes the O(length * degree) recurrence precomputation away.  The
+// effective degree of each basis is capped at length - 1, matching FitPoly.
+class GramBasisCache {
+ public:
+  explicit GramBasisCache(int degree) : degree_(degree) {}
+
+  const GramBasis& For(int64_t length);
+
+ private:
+  int degree_;
+  std::map<int64_t, GramBasis> cache_;
+};
 
 }  // namespace fasthist
 

@@ -1,77 +1,11 @@
 #include "poly/poly_merging.h"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
-#include <numeric>
+#include <utility>
+
+#include "core/internal/merge_engine.h"
 
 namespace fasthist {
-namespace {
-
-Status ValidateMergingArgs(int64_t k, const MergingOptions& options) {
-  if (k < 1) return Status::Invalid("merging: k must be >= 1");
-  if (!(options.delta > 0.0)) {
-    return Status::Invalid("merging: delta must be positive");
-  }
-  if (!(options.gamma >= 1.0)) {
-    return Status::Invalid("merging: gamma must be >= 1");
-  }
-  return Status::Ok();
-}
-
-// Number of pairs kept split per round; the fixed point of the round
-// recursion s -> ceil(s/2) + m is 2m (+1 for a carried odd interval), which
-// is where the piece counts 2k+1 (gamma=1, large delta) come from.
-int64_t PairsKeptPerRound(int64_t k, const MergingOptions& options) {
-  const double raw = static_cast<double>(k) * (1.0 + 1.0 / options.delta);
-  return std::max(k, static_cast<int64_t>(raw));
-}
-
-// Initial partition with breakpoints at every support index: alternating
-// zero-run intervals (exact under any constant/polynomial, error 0) and
-// singleton support intervals.  Size <= 2 * support + 1, so the whole
-// construction is sample-linear for empirical distributions.
-std::vector<Interval> InitialPartition(const SparseFunction& q) {
-  const std::vector<int64_t>& support = q.indices();
-  std::vector<Interval> intervals;
-  intervals.reserve(2 * support.size() + 1);
-  int64_t cursor = 0;
-  for (int64_t s : support) {
-    if (s > cursor) intervals.push_back({cursor, s});
-    intervals.push_back({s, s + 1});
-    cursor = s + 1;
-  }
-  if (cursor < q.domain_size()) {
-    intervals.push_back({cursor, q.domain_size()});
-  }
-  if (intervals.empty()) intervals.push_back({0, q.domain_size()});
-  return intervals;
-}
-
-// One Gram basis per distinct interval length, reused across rounds.
-class BasisCache {
- public:
-  explicit BasisCache(int degree) : degree_(degree) {}
-
-  const GramBasis& For(int64_t length) {
-    auto it = cache_.find(length);
-    if (it == cache_.end()) {
-      const int effective_degree =
-          static_cast<int>(std::min<int64_t>(degree_, length - 1));
-      it = cache_
-               .emplace(length,
-                        GramBasis::Create(length, effective_degree).value())
-               .first;
-    }
-    return it->second;
-  }
-
- private:
-  int degree_;
-  std::map<int64_t, GramBasis> cache_;
-};
-
-}  // namespace
 
 StatusOr<PiecewisePolynomial> PiecewisePolynomial::Create(
     int64_t domain_size, std::vector<PolyFit> pieces) {
@@ -119,76 +53,15 @@ std::vector<double> PiecewisePolynomial::ToDense() const {
 StatusOr<PiecewisePolyResult> ConstructPiecewisePolynomial(
     const SparseFunction& q, int64_t k, int degree,
     const MergingOptions& options) {
-  if (Status s = ValidateMergingArgs(k, options); !s.ok()) return s;
-  if (degree < 0) {
-    return Status::Invalid("ConstructPiecewisePolynomial: degree must be >= 0");
-  }
-  if (q.domain_size() <= 0) {
-    return Status::Invalid("ConstructPiecewisePolynomial: empty domain");
-  }
+  return internal::RunPolyMergingRounds(q, k, degree, options,
+                                        internal::SelectionStrategy::kSort);
+}
 
-  const int64_t keep = PairsKeptPerRound(k, options);
-  BasisCache cache(degree);
-  const std::vector<Interval> initial = InitialPartition(q);
-
-  std::vector<PolyFit> fits;
-  fits.reserve(initial.size());
-  for (const Interval& interval : initial) {
-    fits.push_back(
-        FitPolyWithBasis(q, interval, cache.For(interval.length())).value());
-  }
-
-  const int64_t stop =
-      2 * static_cast<int64_t>(options.gamma * static_cast<double>(keep)) + 1;
-  PiecewisePolyResult result;
-  while (static_cast<int64_t>(fits.size()) > stop) {
-    const size_t num_pairs = fits.size() / 2;
-
-    // Fit every candidate merged pair.
-    std::vector<PolyFit> candidates;
-    candidates.reserve(num_pairs);
-    for (size_t p = 0; p < num_pairs; ++p) {
-      const Interval merged{fits[2 * p].interval.begin,
-                            fits[2 * p + 1].interval.end};
-      candidates.push_back(
-          FitPolyWithBasis(q, merged, cache.For(merged.length())).value());
-    }
-
-    // Keep the `keep` pairs with the largest merged error split; the tie
-    // break on the pair index makes the selected set a strict total order.
-    std::vector<size_t> order(num_pairs);
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (candidates[a].err_squared != candidates[b].err_squared) {
-        return candidates[a].err_squared > candidates[b].err_squared;
-      }
-      return a < b;
-    });
-    std::vector<bool> keep_split(num_pairs, false);
-    const size_t num_keep = std::min(static_cast<size_t>(keep), num_pairs);
-    for (size_t i = 0; i < num_keep; ++i) keep_split[order[i]] = true;
-
-    std::vector<PolyFit> next;
-    next.reserve(num_pairs + num_keep + 1);
-    for (size_t p = 0; p < num_pairs; ++p) {
-      if (keep_split[p]) {
-        next.push_back(std::move(fits[2 * p]));
-        next.push_back(std::move(fits[2 * p + 1]));
-      } else {
-        next.push_back(std::move(candidates[p]));
-      }
-    }
-    if (fits.size() % 2 == 1) next.push_back(std::move(fits.back()));
-    fits.swap(next);
-    ++result.num_rounds;
-  }
-
-  result.err_squared = 0.0;
-  for (const PolyFit& fit : fits) result.err_squared += fit.err_squared;
-  auto function = PiecewisePolynomial::Create(q.domain_size(), std::move(fits));
-  if (!function.ok()) return function.status();
-  result.function = std::move(function).value();
-  return result;
+StatusOr<PiecewisePolyResult> ConstructPiecewisePolynomialFast(
+    const SparseFunction& q, int64_t k, int degree,
+    const MergingOptions& options) {
+  return internal::RunPolyMergingRounds(q, k, degree, options,
+                                        internal::SelectionStrategy::kSelect);
 }
 
 }  // namespace fasthist

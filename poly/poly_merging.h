@@ -56,8 +56,21 @@ struct PiecewisePolyResult {
 // Theorem 2.3 / Corollary 4.1: the merging algorithm with the degree-d
 // least-squares projection as its piece oracle.  Output has O(k) pieces
 // (2m+1 with the default options), each fitted by a degree-<=d polynomial,
-// and err_squared is the summed per-piece residual.
+// and err_squared is the summed per-piece residual.  Runs the shared round
+// engine (core/internal/merge_engine.h) with the per-round sort — the
+// reference implementation the fast variant is verified against.
 StatusOr<PiecewisePolyResult> ConstructPiecewisePolynomial(
+    const SparseFunction& q, int64_t k, int degree,
+    const MergingOptions& options = MergingOptions());
+
+// Theorem 3.4 applied to polynomials: the same rounds with the m worst
+// pairs found by linear-time selection instead of a full sort.  Same
+// contract as ConstructHistogramFast vs ConstructHistogram: the strict
+// (error, index) order makes the selected pair sets — and therefore the
+// pieces, coefficients, err_squared and num_rounds — identical to
+// ConstructPiecewisePolynomial on every input.  The property suite
+// (tests/property_test.cc) asserts this across degrees, seeds and knobs.
+StatusOr<PiecewisePolyResult> ConstructPiecewisePolynomialFast(
     const SparseFunction& q, int64_t k, int degree,
     const MergingOptions& options = MergingOptions());
 

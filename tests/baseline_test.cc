@@ -5,6 +5,7 @@
 #include "baseline/dual_greedy.h"
 #include "baseline/equi.h"
 #include "baseline/exact_dp.h"
+#include "baseline/exact_poly_dp.h"
 #include "baseline/wavelet.h"
 #include "data/generators.h"
 #include "tests/fasthist_test.h"
@@ -39,6 +40,55 @@ TEST(ExactDpIsOptimal) {
   CHECK(*OptK(data, 5) <= *OptK(data, 2) + 1e-12);
   CHECK(!VOptimalHistogram({}, 3).ok());
   CHECK(!VOptimalHistogram(data, 0).ok());
+}
+
+TEST(ExactPolyDpMatchesVOptimalAtDegreeZero) {
+  // At degree 0 the polynomial DP must reproduce the flat V-optimal DP:
+  // same optimal error through a completely different cost oracle
+  // (Gram-basis projection vs prefix moments).
+  HistDatasetOptions options;
+  options.domain_size = 120;
+  const std::vector<double> data = MakeHistDataset(options);
+  for (int64_t k : {2, 4, 7}) {
+    auto poly = ExactPiecewisePolyDp(data, k, 0);
+    auto flat = VOptimalHistogram(data, k);
+    CHECK_OK(poly);
+    CHECK_OK(flat);
+    CHECK_NEAR(poly->err_squared, flat->err_squared,
+               1e-9 * (1.0 + flat->err_squared));
+    CHECK_NEAR(*PolyOptK(data, k, 0), std::sqrt(poly->err_squared), 1e-9);
+  }
+}
+
+TEST(ExactPolyDpIsOptimalOnPolynomialData) {
+  // Three quadratic arcs with jumps between them: the degree-2 DP at k=3
+  // must recover the partition exactly (error ~0), while fewer pieces or a
+  // lower degree must leave a real residual; more of either never hurts.
+  std::vector<double> data;
+  const double shifts[] = {0.0, 30.0, -25.0};
+  for (int arc = 0; arc < 3; ++arc) {
+    for (int i = 0; i < 25; ++i) {
+      const double t = static_cast<double>(i) / 25.0;
+      data.push_back(shifts[arc] + 8.0 * t - 12.0 * t * t);
+    }
+  }
+  auto exact = ExactPiecewisePolyDp(data, 3, 2);
+  CHECK_OK(exact);
+  CHECK_NEAR(exact->err_squared, 0.0, 1e-9);
+  CHECK(exact->function.num_pieces() <= 3);
+  const std::vector<double> fitted = exact->function.ToDense();
+  for (size_t i = 0; i < data.size(); ++i) {
+    CHECK_NEAR(fitted[i], data[i], 1e-6);
+  }
+
+  CHECK(*PolyOptK(data, 2, 2) > 1.0);
+  CHECK(*PolyOptK(data, 3, 1) > 1.0);
+  CHECK(*PolyOptK(data, 4, 2) <= *PolyOptK(data, 3, 2) + 1e-12);
+  CHECK(*PolyOptK(data, 3, 3) <= *PolyOptK(data, 3, 2) + 1e-12);
+
+  CHECK(!ExactPiecewisePolyDp({}, 3, 2).ok());
+  CHECK(!ExactPiecewisePolyDp(data, 0, 2).ok());
+  CHECK(!ExactPiecewisePolyDp(data, 3, -1).ok());
 }
 
 TEST(EquiHistogramsPartitionSanely) {

@@ -1,0 +1,46 @@
+# Run by the <binary>.registration_sync ctest entries: executes the test
+# binary with --list and diffs the registered TEST(name) set against the
+# case list declared in tests/CMakeLists.txt (passed comma-joined in
+# EXPECTED_CASES).  Either direction of drift is a hard failure, so the
+# "keep the lists in sync by hand" convention is now machine-checked.
+#
+# Usage:
+#   cmake -DTEST_BINARY=<path> -DEXPECTED_CASES=a,b,c -P check_registration.cmake
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED TEST_BINARY OR NOT DEFINED EXPECTED_CASES)
+  message(FATAL_ERROR "check_registration.cmake needs TEST_BINARY and EXPECTED_CASES")
+endif()
+
+execute_process(
+  COMMAND ${TEST_BINARY} --list
+  OUTPUT_VARIABLE listed_output
+  RESULT_VARIABLE list_result
+)
+if(NOT list_result EQUAL 0)
+  message(FATAL_ERROR "${TEST_BINARY} --list failed (exit ${list_result})")
+endif()
+
+string(STRIP "${listed_output}" listed_output)
+string(REPLACE "\n" ";" registered "${listed_output}")
+string(REPLACE "," ";" expected "${EXPECTED_CASES}")
+
+set(errors "")
+foreach(case IN LISTS registered)
+  if(NOT case IN_LIST expected)
+    string(APPEND errors
+      "TEST(${case}) has no ctest entry; add it to tests/CMakeLists.txt\n")
+  endif()
+endforeach()
+foreach(case IN LISTS expected)
+  if(NOT case IN_LIST registered)
+    string(APPEND errors
+      "ctest case '${case}' matches no TEST() in the binary; "
+      "remove or fix it in tests/CMakeLists.txt\n")
+  endif()
+endforeach()
+
+if(NOT errors STREQUAL "")
+  message(FATAL_ERROR "registration out of sync for ${TEST_BINARY}:\n${errors}")
+endif()

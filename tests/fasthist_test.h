@@ -4,8 +4,11 @@
 // Minimal single-header test framework (no external dependencies): each
 // TEST(name) registers itself; the main below runs every registered test,
 // or only those named on the command line (which is how CMake registers
-// one ctest entry per case — keep tests/CMakeLists.txt in sync with the
-// TEST names).
+// one ctest entry per case).  `--list` prints the registered names, one
+// per line; the <binary>.registration_sync ctest entry diffs that output
+// against the case list in tests/CMakeLists.txt, so a TEST added without
+// its ctest line (or vice versa) fails the suite instead of silently
+// riding along in the catch-all run.
 
 #include <cmath>
 #include <cstdio>
@@ -89,6 +92,10 @@ struct Failure : std::runtime_error {
 
 int main(int argc, char** argv) {
   using ::fasthist::testing::Registry;
+  if (argc == 2 && std::strcmp(argv[1], "--list") == 0) {
+    for (const auto& test : Registry()) std::printf("%s\n", test.name);
+    return 0;
+  }
   int failures = 0;
   int executed = 0;
   for (const auto& test : Registry()) {

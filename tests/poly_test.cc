@@ -99,5 +99,41 @@ TEST(PiecewisePolynomialBeatsHistogramOnSmoothData) {
   CHECK(!ConstructPiecewisePolynomial(q, 4, -1).ok());
 }
 
+TEST(FastPolyConstructionMatchesSlow) {
+  // The shared-engine contract on a fixed smooth input: the selection-based
+  // fast path returns exactly the sort-based reference's output.  (The
+  // randomized sweep lives in property_test.cc.)
+  const int64_t n = 512;
+  std::vector<double> dense(static_cast<size_t>(n));
+  for (int64_t x = 0; x < n; ++x) {
+    const double t = static_cast<double>(x) / static_cast<double>(n);
+    dense[static_cast<size_t>(x)] =
+        20.0 * std::sin(7.0 * t) + 15.0 * t * t + (x % 17 == 0 ? 3.0 : 0.0);
+  }
+  const SparseFunction q = SparseFunction::FromDense(dense);
+  for (int degree : {0, 2, 4}) {
+    for (int64_t k : {3, 12}) {
+      auto slow = ConstructPiecewisePolynomial(q, k, degree);
+      auto fast = ConstructPiecewisePolynomialFast(q, k, degree);
+      CHECK_OK(slow);
+      CHECK_OK(fast);
+      CHECK(slow->num_rounds == fast->num_rounds);
+      CHECK_NEAR(slow->err_squared, fast->err_squared, 0.0);
+      CHECK(slow->function.num_pieces() == fast->function.num_pieces());
+      for (int64_t p = 0; p < slow->function.num_pieces(); ++p) {
+        const PolyFit& a = slow->function.pieces()[static_cast<size_t>(p)];
+        const PolyFit& b = fast->function.pieces()[static_cast<size_t>(p)];
+        CHECK(a.interval.begin == b.interval.begin);
+        CHECK(a.interval.end == b.interval.end);
+        for (size_t j = 0; j < a.coefficients.size(); ++j) {
+          CHECK_NEAR(a.coefficients[j], b.coefficients[j], 0.0);
+        }
+      }
+    }
+  }
+  CHECK(!ConstructPiecewisePolynomialFast(q, 0, 2).ok());
+  CHECK(!ConstructPiecewisePolynomialFast(q, 4, -1).ok());
+}
+
 }  // namespace
 }  // namespace fasthist

@@ -1,0 +1,303 @@
+// Seeded randomized property harness.  Every case sweeps many seeds and
+// knob combinations and asserts an exact or theorem-backed relationship
+// between two independent implementations — the contracts the library's
+// layers are built on:
+//   * selection-based fast paths are bit-identical to the sort-based
+//     reference paths (histograms and piecewise polynomials),
+//   * merging error is within sqrt(1 + delta) of the exact DP optimum
+//     (Theorem 3.3, here verified for polynomials at degrees 0-3),
+//   * the degree-0 polynomial path and the histogram path agree,
+//   * MergeHistograms respects weights and is associative up to the
+//     re-merging tolerance (the precondition for a sharded merge tree).
+// All randomness flows through util/random.h's Rng, so every failure
+// reproduces from the printed seed constants below.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/exact_poly_dp.h"
+#include "core/fast_merging.h"
+#include "core/merging.h"
+#include "dist/empirical.h"
+#include "poly/poly_merging.h"
+#include "tests/fasthist_test.h"
+#include "util/random.h"
+
+namespace fasthist {
+namespace {
+
+// A random piecewise-quadratic signal with jumps and additive Gaussian
+// noise: rough enough to exercise histogram breakpoints, smooth enough
+// that higher-degree fits differ meaningfully from flat ones.
+std::vector<double> RandomSignal(Rng& rng, int64_t n, int num_segments,
+                                 double noise) {
+  std::vector<int64_t> cuts = {0, n};
+  for (int i = 1; i < num_segments; ++i) {
+    cuts.push_back(1 + rng.UniformInt(n - 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<double> data(static_cast<size_t>(n), 0.0);
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const int64_t begin = cuts[c];
+    const int64_t end = cuts[c + 1];
+    const double c0 = 10.0 * rng.Gaussian();
+    const double c1 = 5.0 * rng.Gaussian();
+    const double c2 = 3.0 * rng.Gaussian();
+    for (int64_t x = begin; x < end; ++x) {
+      const double t = static_cast<double>(x - begin) /
+                       static_cast<double>(end - begin);
+      data[static_cast<size_t>(x)] =
+          c0 + c1 * t + c2 * t * t + noise * rng.Gaussian();
+    }
+  }
+  return data;
+}
+
+// A random probability distribution over [n] (for the mergeability laws).
+std::vector<double> RandomDistribution(Rng& rng, int64_t n) {
+  std::vector<double> pmf = RandomSignal(rng, n, 5, 0.3);
+  double total = 0.0;
+  for (double& v : pmf) {
+    v = std::abs(v) + 1e-3;
+    total += v;
+  }
+  for (double& v : pmf) v /= total;
+  return pmf;
+}
+
+void CheckHistogramsIdentical(const MergingResult& slow,
+                              const MergingResult& fast) {
+  CHECK(slow.num_rounds == fast.num_rounds);
+  CHECK_NEAR(slow.err_squared, fast.err_squared, 0.0);
+  CHECK(slow.histogram.num_pieces() == fast.histogram.num_pieces());
+  for (int64_t p = 0; p < slow.histogram.num_pieces(); ++p) {
+    const HistogramPiece& a = slow.histogram.pieces()[static_cast<size_t>(p)];
+    const HistogramPiece& b = fast.histogram.pieces()[static_cast<size_t>(p)];
+    CHECK(a.interval.begin == b.interval.begin);
+    CHECK(a.interval.end == b.interval.end);
+    CHECK_NEAR(a.value, b.value, 0.0);
+  }
+}
+
+TEST(HistogramFastVsSlowRandomized) {
+  // ConstructHistogramFast's contract over random inputs: identical output
+  // to ConstructHistogram on every seed and knob combination.  Every fifth
+  // seed uses a sparse empirical input (few samples over a huge domain),
+  // the regime the sample-linear path exists for.
+  const MergingOptions sweeps[] = {
+      {1000.0, 1.0}, {0.5, 1.0}, {3.0, 2.0}, {1000.0, 8.0}};
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(0x8157'0000 + seed);
+    SparseFunction q;
+    if (seed % 5 == 4) {
+      const int64_t domain = 1'000'000;
+      std::vector<int64_t> samples;
+      for (int i = 0; i < 60; ++i) samples.push_back(rng.UniformInt(domain));
+      q = EmpiricalDistribution(domain, samples).value();
+    } else {
+      const int64_t n = 64 + rng.UniformInt(400);
+      q = SparseFunction::FromDense(RandomSignal(rng, n, 6, 0.5));
+    }
+    for (int64_t k : {3, 17}) {
+      for (const MergingOptions& options : sweeps) {
+        auto slow = ConstructHistogram(q, k, options);
+        auto fast = ConstructHistogramFast(q, k, options);
+        CHECK_OK(slow);
+        CHECK_OK(fast);
+        CheckHistogramsIdentical(*slow, *fast);
+      }
+    }
+  }
+}
+
+TEST(PolyFastVsSlowRandomized) {
+  // The polynomial twin of the histogram contract: both speeds run the
+  // same shared engine rounds, so pieces, coefficients, err_squared and
+  // num_rounds must be bit-identical at every degree.
+  const MergingOptions sweeps[] = {{1000.0, 1.0}, {0.7, 1.0}, {2.0, 4.0}};
+  for (int degree = 0; degree <= 3; ++degree) {
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+      Rng rng(0x7011'0000 + 1000 * static_cast<uint64_t>(degree) + seed);
+      const int64_t n = 64 + rng.UniformInt(200);
+      const SparseFunction q =
+          SparseFunction::FromDense(RandomSignal(rng, n, 5, 0.4));
+      for (int64_t k : {3, 8}) {
+        for (const MergingOptions& options : sweeps) {
+          auto slow = ConstructPiecewisePolynomial(q, k, degree, options);
+          auto fast = ConstructPiecewisePolynomialFast(q, k, degree, options);
+          CHECK_OK(slow);
+          CHECK_OK(fast);
+          CHECK(slow->num_rounds == fast->num_rounds);
+          CHECK_NEAR(slow->err_squared, fast->err_squared, 0.0);
+          CHECK(slow->function.num_pieces() == fast->function.num_pieces());
+          for (int64_t p = 0; p < slow->function.num_pieces(); ++p) {
+            const PolyFit& a = slow->function.pieces()[static_cast<size_t>(p)];
+            const PolyFit& b = fast->function.pieces()[static_cast<size_t>(p)];
+            CHECK(a.interval.begin == b.interval.begin);
+            CHECK(a.interval.end == b.interval.end);
+            CHECK(a.coefficients.size() == b.coefficients.size());
+            for (size_t j = 0; j < a.coefficients.size(); ++j) {
+              CHECK_NEAR(a.coefficients[j], b.coefficients[j], 0.0);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PolyMergingWithinSqrtOnePlusDeltaOfExactDp) {
+  // Theorem 3.3 at degrees 0-3: the merging construction's error is within
+  // sqrt(1 + delta) of the exact k-piece degree-d optimum — checked
+  // against the O(n^3) DP gold standard, so the domain stays small.
+  for (int degree = 0; degree <= 3; ++degree) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      Rng rng(0xd901'0000 + 1000 * static_cast<uint64_t>(degree) + seed);
+      const std::vector<double> data = RandomSignal(rng, 96, 4, 0.5);
+      const SparseFunction q = SparseFunction::FromDense(data);
+      for (int64_t k : {3, 5}) {
+        auto opt = PolyOptK(data, k, degree);
+        CHECK_OK(opt);
+        for (double delta : {0.5, 3.0}) {
+          auto merged = ConstructPiecewisePolynomial(
+              q, k, degree, MergingOptions{delta, 1.0});
+          CHECK_OK(merged);
+          CHECK(std::sqrt(merged->err_squared) <=
+                std::sqrt(1.0 + delta) * (*opt) + 1e-7);
+        }
+      }
+    }
+  }
+}
+
+TEST(PolyDegreeZeroMatchesHistogramMerging) {
+  // Degree-0 polynomial merging is histogram merging: same initial
+  // partition, same round schedule, and the degree-0 projection is the
+  // interval mean.  The two paths compute piece errors through different
+  // formulas (Gram coefficients vs sum/sumsq moments), so values and
+  // errors agree to rounding, and with continuous random data the
+  // surviving partitions coincide exactly.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(0xd060'0000 + seed);
+    const int64_t n = 64 + rng.UniformInt(300);
+    const SparseFunction q =
+        SparseFunction::FromDense(RandomSignal(rng, n, 6, 0.5));
+    for (int64_t k : {4, 9}) {
+      for (const MergingOptions& options :
+           {MergingOptions{1000.0, 1.0}, MergingOptions{0.7, 1.0}}) {
+        auto hist = ConstructHistogram(q, k, options);
+        auto poly = ConstructPiecewisePolynomial(q, k, 0, options);
+        CHECK_OK(hist);
+        CHECK_OK(poly);
+        CHECK(hist->num_rounds == poly->num_rounds);
+        CHECK_NEAR(hist->err_squared, poly->err_squared,
+                   1e-9 * (1.0 + hist->err_squared));
+        CHECK(hist->histogram.num_pieces() == poly->function.num_pieces());
+        for (int64_t p = 0; p < hist->histogram.num_pieces(); ++p) {
+          const HistogramPiece& h =
+              hist->histogram.pieces()[static_cast<size_t>(p)];
+          const PolyFit& f = poly->function.pieces()[static_cast<size_t>(p)];
+          CHECK(h.interval.begin == f.interval.begin);
+          CHECK(h.interval.end == f.interval.end);
+          CHECK_NEAR(h.value, f.EvaluateAt(f.interval.begin),
+                     1e-9 * (1.0 + std::abs(h.value)));
+        }
+      }
+    }
+  }
+}
+
+TEST(MergeHistogramsIsWeightRespecting) {
+  const int64_t n = 256;
+  const int64_t k = 8;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(0x3e16'0000 + seed);
+    const std::vector<double> p1 = RandomDistribution(rng, n);
+    const std::vector<double> p2 = RandomDistribution(rng, n);
+    const Histogram h1 =
+        ConstructHistogram(SparseFunction::FromDense(p1), k)->histogram;
+    const Histogram h2 =
+        ConstructHistogram(SparseFunction::FromDense(p2), k)->histogram;
+
+    auto merged = MergeHistograms(h1, 3.0, h2, 1.0, k);
+    CHECK_OK(merged);
+    // Mass is the weighted mixture's mass (here 1: both inputs are
+    // distributions), and the merged histogram tracks the 3:1 mixture.
+    CHECK_NEAR(merged->TotalMass(), 1.0, 1e-9);
+    std::vector<double> mixture(static_cast<size_t>(n));
+    for (size_t i = 0; i < mixture.size(); ++i) {
+      mixture[i] = 0.75 * p1[i] + 0.25 * p2[i];
+    }
+    const double err_sq =
+        merged->L2DistanceSquaredTo(SparseFunction::FromDense(mixture));
+    CHECK(std::sqrt(err_sq) < 0.05);
+
+    // Only the weight ratio matters: (3, 1) and (0.75, 0.25) normalize to
+    // the same mixture, so the outputs are identical.
+    auto rescaled = MergeHistograms(h1, 0.75, h2, 0.25, k);
+    CHECK_OK(rescaled);
+    CHECK(merged->num_pieces() == rescaled->num_pieces());
+    for (int64_t p = 0; p < merged->num_pieces(); ++p) {
+      const HistogramPiece& a = merged->pieces()[static_cast<size_t>(p)];
+      const HistogramPiece& b = rescaled->pieces()[static_cast<size_t>(p)];
+      CHECK(a.interval.begin == b.interval.begin);
+      CHECK(a.interval.end == b.interval.end);
+      CHECK_NEAR(a.value, b.value, 0.0);
+    }
+  }
+}
+
+TEST(MergeHistogramsIsAssociativeUpToTolerance) {
+  // (A + B) + C vs A + (B + C) with cumulative weights: both groupings
+  // must track the true weighted mixture, and therefore each other, within
+  // the re-merging tolerance.  This is the property a sharded merge tree
+  // relies on: the reduction order must not matter.
+  const int64_t n = 256;
+  const int64_t k = 8;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(0xa550'0000 + seed);
+    const std::vector<double> pa = RandomDistribution(rng, n);
+    const std::vector<double> pb = RandomDistribution(rng, n);
+    const std::vector<double> pc = RandomDistribution(rng, n);
+    const Histogram ha =
+        ConstructHistogram(SparseFunction::FromDense(pa), k)->histogram;
+    const Histogram hb =
+        ConstructHistogram(SparseFunction::FromDense(pb), k)->histogram;
+    const Histogram hc =
+        ConstructHistogram(SparseFunction::FromDense(pc), k)->histogram;
+
+    // Weights 2 : 1 : 1.
+    const Histogram left =
+        MergeHistograms(MergeHistograms(ha, 2.0, hb, 1.0, k).value(), 3.0,
+                        hc, 1.0, k)
+            .value();
+    const Histogram right =
+        MergeHistograms(ha, 2.0,
+                        MergeHistograms(hb, 1.0, hc, 1.0, k).value(), 2.0, k)
+            .value();
+
+    std::vector<double> mixture(static_cast<size_t>(n));
+    for (size_t i = 0; i < mixture.size(); ++i) {
+      mixture[i] = 0.5 * pa[i] + 0.25 * pb[i] + 0.25 * pc[i];
+    }
+    const SparseFunction qmix = SparseFunction::FromDense(mixture);
+    const double err_left = std::sqrt(left.L2DistanceSquaredTo(qmix));
+    const double err_right = std::sqrt(right.L2DistanceSquaredTo(qmix));
+    CHECK(err_left < 0.05);
+    CHECK(err_right < 0.05);
+
+    double gap_sq = 0.0;
+    for (int64_t x = 0; x < n; ++x) {
+      const double d = left.ValueAt(x) - right.ValueAt(x);
+      gap_sq += d * d;
+    }
+    CHECK(std::sqrt(gap_sq) < 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace fasthist
