@@ -3,14 +3,29 @@
 // builder, Gram evaluation (O(d) per point), the projection oracle, alias
 // sampling (O(1)), empirical-distribution construction, selection, and the
 // exact DP for context.
+//
+// Invoked with --merge-grid the binary instead runs the thread/size scaling
+// grid of the SoA merge engine (2^20 .. 2^26 domains x 1/2/4/8 threads) and
+// writes the machine-readable perf trajectory to BENCH_merge.json — plus an
+// allocation sanity check asserting the engine's round-persistent buffers
+// really keep the per-construction allocation count independent of the
+// round count.  --smoke shrinks the grid for CI; --out=<path> redirects the
+// JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/equi.h"
 #include "baseline/exact_dp.h"
 #include "baseline/wavelet.h"
+#include "bench/bench_util.h"
 #include "core/fast_merging.h"
 #include "core/streaming.h"
 #include "core/hierarchical.h"
@@ -20,8 +35,33 @@
 #include "dist/empirical.h"
 #include "poly/fit_poly.h"
 #include "poly/gram.h"
+#include "poly/poly_merging.h"
 #include "util/random.h"
 #include "util/selection.h"
+#include "util/simd.h"
+#include "util/timer.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the grid's sanity check.  Counting every
+// operator new in the binary is crude but exactly what we need: a
+// construction on an already-warm engine should allocate O(1) vectors plus
+// O(1) per round (the ParallelFor closure), never O(support).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace fasthist {
 namespace {
@@ -51,6 +91,19 @@ void BM_ConstructHistogramFast(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_ConstructHistogramFast)->Range(1 << 10, 1 << 18)->Complexity();
+
+void BM_ConstructHistogramFastThreaded(benchmark::State& state) {
+  const SparseFunction q = SparseFunction::FromDense(Signal(state.range(0)));
+  MergingOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto result = ConstructHistogramFast(q, 64, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConstructHistogramFastThreaded)
+    ->ArgsProduct({{1 << 18, 1 << 20}, {1, 2, 4, 8}});
 
 void BM_Hierarchical(benchmark::State& state) {
   const SparseFunction q = SparseFunction::FromDense(Signal(state.range(0)));
@@ -195,7 +248,146 @@ void BM_SelectKthMedianOfMedians(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectKthMedianOfMedians)->Range(1 << 10, 1 << 18)->Complexity();
 
+// ---------------------------------------------------------------------------
+// The thread/size scaling grid (--merge-grid): the perf trajectory of the
+// SoA engine.  One warm histogram construction per (domain size, threads)
+// cell plus a degree-2 piecewise-polynomial row, written as
+// BENCH_merge.json via bench_util::JsonBenchWriter.
+// ---------------------------------------------------------------------------
+
+double TimeConstruction(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up: pools spawned, caches faulted in
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) fn();
+  return timer.ElapsedMillis() / static_cast<double>(reps);
+}
+
+int RunMergeScalingGrid(int argc, char** argv) {
+  const bool smoke = bench_util::HasFlag(argc, argv, "--smoke");
+  const char* out_flag = bench_util::FlagValue(argc, argv, "--out=");
+  const std::string out_path = out_flag != nullptr ? out_flag : "BENCH_merge.json";
+  const int64_t k = 64;
+
+  std::vector<int64_t> sizes = smoke
+      ? std::vector<int64_t>{1 << 14, 1 << 16}
+      : std::vector<int64_t>{1 << 20, 1 << 22, 1 << 24, 1 << 26};
+  std::vector<int> threads = smoke ? std::vector<int>{1, 2}
+                                   : std::vector<int>{1, 2, 4, 8};
+
+  bench_util::JsonBenchWriter writer("merge_scaling");
+  writer.AddContext("k", static_cast<double>(k));
+  writer.AddContext("hardware_threads",
+                    static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddContext("simd_avx2", FASTHIST_SIMD_AVX2);
+  bool allocation_check_ok = true;
+
+  for (const int64_t n : sizes) {
+    PolyDatasetOptions data_options;
+    data_options.domain_size = n;
+    const SparseFunction q =
+        SparseFunction::FromDense(MakePolyDataset(data_options));
+
+    // Allocation sanity check (serial, warm): the SoA engine's buffers are
+    // round-persistent, so a construction allocates a constant number of
+    // vectors plus O(1) per round — if allocations scaled with the support
+    // size the SoA refactor regressed.
+    MergingOptions serial;
+    auto warm = ConstructHistogramFast(q, k, serial);
+    const long long rounds = warm->num_rounds;
+    const long long before = g_allocations.load(std::memory_order_relaxed);
+    auto probe = ConstructHistogramFast(q, k, serial);
+    const long long allocs =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    const long long alloc_budget = 64 + 8 * rounds;
+    if (allocs > alloc_budget) {
+      std::fprintf(stderr,
+                   "ALLOCATION CHECK FAILED: n=%lld: %lld allocations for "
+                   "%lld rounds (budget %lld) — per-round buffers are being "
+                   "reallocated\n",
+                   static_cast<long long>(n), allocs, rounds, alloc_budget);
+      allocation_check_ok = false;
+    }
+
+    double serial_ms = 0.0;
+    for (const int num_threads : threads) {
+      MergingOptions options;
+      options.num_threads = num_threads;
+      const int reps = n >= (int64_t{1} << 24) ? 1 : 3;
+      const double ms = TimeConstruction(
+          [&] {
+            auto result = ConstructHistogramFast(q, k, options);
+            benchmark::DoNotOptimize(result);
+          },
+          reps);
+      if (num_threads == 1) serial_ms = ms;
+      writer.Add("hist_fast",
+                 {{"n", static_cast<double>(n)},
+                  {"threads", static_cast<double>(num_threads)},
+                  {"ms", ms},
+                  {"speedup_vs_serial", serial_ms > 0.0 ? serial_ms / ms : 1.0},
+                  {"rounds", static_cast<double>(probe->num_rounds)},
+                  {"pieces",
+                   static_cast<double>(probe->histogram.num_pieces())},
+                  {"allocs", static_cast<double>(allocs)}});
+      std::printf("hist_fast n=%lld threads=%d: %.2f ms (%.2fx)\n",
+                  static_cast<long long>(n), num_threads, ms,
+                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+      std::fflush(stdout);
+    }
+  }
+
+  // One polynomial row: the refit pass is the compute-bound face of the
+  // same engine, so it scales where the histogram kernel is memory-bound.
+  {
+    const int64_t n = smoke ? (1 << 13) : (1 << 20);
+    const int degree = 2;
+    PolyDatasetOptions data_options;
+    data_options.domain_size = n;
+    const SparseFunction q =
+        SparseFunction::FromDense(MakePolyDataset(data_options));
+    double serial_ms = 0.0;
+    for (const int num_threads : threads) {
+      MergingOptions options;
+      options.num_threads = num_threads;
+      const double ms = TimeConstruction(
+          [&] {
+            auto result = ConstructPiecewisePolynomialFast(q, k, degree, options);
+            benchmark::DoNotOptimize(result);
+          },
+          1);
+      if (num_threads == 1) serial_ms = ms;
+      writer.Add("poly_fast",
+                 {{"n", static_cast<double>(n)},
+                  {"degree", static_cast<double>(degree)},
+                  {"threads", static_cast<double>(num_threads)},
+                  {"ms", ms},
+                  {"speedup_vs_serial",
+                   serial_ms > 0.0 ? serial_ms / ms : 1.0}});
+      std::printf("poly_fast n=%lld degree=%d threads=%d: %.2f ms (%.2fx)\n",
+                  static_cast<long long>(n), degree, num_threads, ms,
+                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+      std::fflush(stdout);
+    }
+  }
+
+  if (!writer.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return allocation_check_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace fasthist
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (fasthist::bench_util::HasFlag(argc, argv, "--merge-grid")) {
+    return fasthist::RunMergeScalingGrid(argc, argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,12 @@
 #ifndef FASTHIST_BENCH_BENCH_UTIL_H_
 #define FASTHIST_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/timer.h"
@@ -40,6 +43,90 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+/// Value of a `--key=value` argument (the part after `prefix`), or nullptr.
+inline const char* FlagValue(int argc, char** argv, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return nullptr;
+}
+
+/// Accumulates flat numeric benchmark records and serializes them as a
+/// machine-readable perf trajectory file (e.g. BENCH_merge.json):
+///
+///   {"schema": 1, "bench": "<name>",
+///    "context": {"<key>": <num>, ...},
+///    "records": [{"name": "<record>", "<key>": <num>, ...}, ...]}
+///
+/// Keys and names must be plain identifiers (no JSON escaping is done);
+/// values are doubles, printed as integers when they are integral so the
+/// files diff cleanly across runs.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void AddContext(const std::string& key, double value) {
+    context_.emplace_back(key, value);
+  }
+
+  void Add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    records_.push_back({name, std::move(fields)});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema\": 1, \"bench\": \"" + bench_ + "\",\n";
+    out += " \"context\": {";
+    for (size_t i = 0; i < context_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + context_[i].first + "\": " + FormatNumber(context_[i].second);
+    }
+    out += "},\n \"records\": [\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out += "  {\"name\": \"" + records_[r].name + "\"";
+      for (const auto& field : records_[r].fields) {
+        out += ", \"" + field.first + "\": " + FormatNumber(field.second);
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += " ]}\n";
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::string json = ToJson();
+    const bool wrote =
+        std::fwrite(json.data(), 1, json.size(), file) == json.size();
+    return std::fclose(file) == 0 && wrote;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  static std::string FormatNumber(double value) {
+    char buffer[40];
+    if (std::abs(value) < 1e15 &&
+        value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    }
+    return buffer;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, double>> context_;
+  std::vector<Record> records_;
+};
 
 }  // namespace bench_util
 }  // namespace fasthist

@@ -29,7 +29,16 @@ class HierarchicalHistogram {
     Histogram histogram;
   };
 
-  static StatusOr<HierarchicalHistogram> Build(const SparseFunction& q);
+  // The per-level error pass is data-parallel over fixed-size blocks of
+  // intervals (4096 per block) whose partial sums are combined in block
+  // order — a decomposition that depends only on the domain, so level_err_
+  // is identical for every num_threads.  Note the within-level summation is
+  // block-associated even at num_threads = 1: on levels wider than one
+  // block it can differ from a plain serial sum in the last float bits.
+  // Threads come from the shared util/parallel pool; 1 means fully serial
+  // execution.
+  static StatusOr<HierarchicalHistogram> Build(const SparseFunction& q,
+                                               int num_threads = 1);
 
   int num_levels() const { return num_levels_; }
 

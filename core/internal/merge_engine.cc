@@ -6,19 +6,37 @@
 #include <utility>
 
 #include "poly/fit_poly.h"
+#include "util/parallel.h"
+#include "util/simd.h"
 
 namespace fasthist {
 namespace internal {
 namespace {
 
-double AtomError(const MergeAtom& atom) {
-  const double length = static_cast<double>(atom.end - atom.begin);
-  return std::max(0.0, atom.sumsq - atom.sum * atom.sum / length);
-}
+// Chunk-size floors for the data-parallel candidate pass: histogram merges
+// are a few flops each, so chunks must be large to amortize dispatch; poly
+// refits scan their support, so much smaller chunks already pay off.
+constexpr int64_t kHistogramGrain = 2048;
+constexpr int64_t kPolyGrain = 64;
+
+// Clamp bound applied before double -> int64 casts of the keep/stop
+// schedule.  k * (1 + 1/delta) overflows int64 for huge k and tiny delta,
+// and casting an out-of-range double is UB; 2^62 is exactly representable,
+// castable, and far beyond any real partition size, so clamping there
+// preserves the "keep everything" semantics without the UB.
+constexpr double kScheduleClamp = 4611686018427387904.0;  // 2^62
 
 int64_t PairsKeptPerRound(int64_t k, const MergingOptions& options) {
   const double raw = static_cast<double>(k) * (1.0 + 1.0 / options.delta);
-  return std::max(k, static_cast<int64_t>(raw));
+  return std::max(k, static_cast<int64_t>(std::min(raw, kScheduleClamp)));
+}
+
+// gamma stops the rounds early (Corollary 3.1): at most ~2*gamma*keep+1
+// pieces survive, in exchange for fewer rounds over the large partitions.
+// The inner product is clamped like the keep count (gamma is unbounded).
+int64_t StopThreshold(int64_t keep, const MergingOptions& options) {
+  const double inner = options.gamma * static_cast<double>(keep);
+  return 2 * static_cast<int64_t>(std::min(inner, kScheduleClamp / 2.0)) + 1;
 }
 
 Status ValidateRoundArgs(int64_t domain_size, int64_t k,
@@ -33,46 +51,356 @@ Status ValidateRoundArgs(int64_t domain_size, int64_t k,
   if (!(options.gamma >= 1.0)) {
     return Status::Invalid("merging: gamma must be >= 1");
   }
+  if (options.num_threads < 1) {
+    return Status::Invalid("merging: num_threads must be >= 1");
+  }
   return Status::Ok();
 }
 
-// Algorithm 1's round skeleton, generic over the atom policy.  A policy
-// supplies
-//   using Atom = ...;                          the partition element
-//   Atom MergePair(const Atom&, const Atom&);  statistics of the union
-//   double ErrorOf(const Atom&);               squared error of an atom
-// and the loop owns everything the guarantee proof depends on: pairing,
-// the strict (error desc, index asc) total order, the keep/stop schedule
-// derived from delta and gamma, and the round recursion
-// s -> ceil(s/2) + keep (strictly decreasing while s > stop >= 2*keep + 1,
-// so termination is structural).  Both selection strategies rank under the
-// same total order, so they pick identical pair sets and the engine's two
-// speeds are bit-for-bit interchangeable for any policy.
-template <typename Policy>
-long long RunRounds(Policy& policy, std::vector<typename Policy::Atom>& atoms,
-                    int64_t k, const MergingOptions& options,
-                    SelectionStrategy strategy) {
+ThreadPool* PoolFor(const MergingOptions& options) {
+  return options.num_threads > 1 ? &ThreadPool::Shared(options.num_threads)
+                                 : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Structure-of-arrays stores.  RunRounds (below) is generic over a store
+// that owns the current partition as parallel planes plus the candidate and
+// next-generation buffers.  Every buffer persists across rounds — a round
+// only resize()s within capacity reserved up front, so the steady state
+// allocates nothing (bench_micro's allocation sanity check rides on this).
+// A store supplies
+//   size_t size();                       current number of atoms
+//   void EvaluatePairs(n, pool, err);    statistics + error of the n
+//                                        adjacent pairs into the candidate
+//                                        planes; data-parallel with
+//                                        disjoint per-pair writes, so any
+//                                        thread count is bit-identical
+//   void Commit(keep_split, n, err);     next generation: kept pairs stay
+//                                        split, the rest become their
+//                                        candidate (with error err[p]), an
+//                                        odd tail survives
+// and the loop owns everything the guarantee proof depends on: pairing, the
+// strict (error desc, index asc) total order, the keep/stop schedule, and
+// the round recursion s -> ceil(s/2) + keep (strictly decreasing while
+// s > stop >= 2*keep + 1, so termination is structural).
+// ---------------------------------------------------------------------------
+
+// Histogram store: closed-form sufficient statistics, O(1) per merge.  The
+// candidate pass is the streaming kernel pair — PairwiseSum over the sum
+// and sumsq planes, ResidualError over the merged moments (util/simd.h).
+class HistogramStore {
+ public:
+  explicit HistogramStore(const std::vector<MergeAtom>& atoms) {
+    const size_t n = atoms.size();
+    begin_.resize(n);
+    end_.resize(n);
+    sum_.resize(n);
+    sumsq_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      begin_[i] = atoms[i].begin;
+      end_[i] = atoms[i].end;
+      sum_[i] = atoms[i].sum;
+      sumsq_[i] = atoms[i].sumsq;
+    }
+    cand_sum_.reserve(n / 2);
+    cand_sumsq_.reserve(n / 2);
+    cand_len_.reserve(n / 2);
+    next_begin_.reserve(n);
+    next_end_.reserve(n);
+    next_sum_.reserve(n);
+    next_sumsq_.reserve(n);
+  }
+
+  size_t size() const { return begin_.size(); }
+
+  void EvaluatePairs(size_t num_pairs, ThreadPool* pool,
+                     std::vector<double>& err) {
+    cand_sum_.resize(num_pairs);
+    cand_sumsq_.resize(num_pairs);
+    cand_len_.resize(num_pairs);
+    err.resize(num_pairs);
+    ParallelFor(
+        pool, 0, static_cast<int64_t>(num_pairs), kHistogramGrain,
+        [&](int64_t chunk_begin, int64_t chunk_end) {
+          const size_t lo = static_cast<size_t>(chunk_begin);
+          const size_t count = static_cast<size_t>(chunk_end - chunk_begin);
+          simd::PairwiseSum(sum_.data() + 2 * lo, count,
+                            cand_sum_.data() + lo);
+          simd::PairwiseSum(sumsq_.data() + 2 * lo, count,
+                            cand_sumsq_.data() + lo);
+          for (size_t p = lo; p < lo + count; ++p) {
+            cand_len_[p] =
+                static_cast<double>(end_[2 * p + 1] - begin_[2 * p]);
+          }
+          simd::ResidualError(cand_sum_.data() + lo, cand_sumsq_.data() + lo,
+                              cand_len_.data() + lo, count, err.data() + lo);
+        });
+  }
+
+  void Commit(const std::vector<char>& keep_split, size_t num_pairs,
+              const std::vector<double>& /*candidate_err*/) {
+    next_begin_.clear();
+    next_end_.clear();
+    next_sum_.clear();
+    next_sumsq_.clear();
+    for (size_t p = 0; p < num_pairs; ++p) {
+      if (keep_split[p]) {
+        for (const size_t i : {2 * p, 2 * p + 1}) {
+          next_begin_.push_back(begin_[i]);
+          next_end_.push_back(end_[i]);
+          next_sum_.push_back(sum_[i]);
+          next_sumsq_.push_back(sumsq_[i]);
+        }
+      } else {
+        next_begin_.push_back(begin_[2 * p]);
+        next_end_.push_back(end_[2 * p + 1]);
+        next_sum_.push_back(cand_sum_[p]);
+        next_sumsq_.push_back(cand_sumsq_[p]);
+      }
+    }
+    if (size() % 2 == 1) {
+      next_begin_.push_back(begin_.back());
+      next_end_.push_back(end_.back());
+      next_sum_.push_back(sum_.back());
+      next_sumsq_.push_back(sumsq_.back());
+    }
+    begin_.swap(next_begin_);
+    end_.swap(next_end_);
+    sum_.swap(next_sum_);
+    sumsq_.swap(next_sumsq_);
+  }
+
+  // Flat-value histogram of the surviving partition and its summed error.
+  StatusOr<MergingResult> Finish(int64_t domain_size,
+                                 long long num_rounds) const {
+    MergingResult result;
+    result.num_rounds = num_rounds;
+    result.err_squared = 0.0;
+    std::vector<HistogramPiece> pieces;
+    pieces.reserve(size());
+    for (size_t i = 0; i < size(); ++i) {
+      const double length = static_cast<double>(end_[i] - begin_[i]);
+      pieces.push_back({{begin_[i], end_[i]}, sum_[i] / length});
+      const double residual = sumsq_[i] - sum_[i] * sum_[i] / length;
+      result.err_squared += residual > 0.0 ? residual : 0.0;
+    }
+    auto histogram = Histogram::Create(domain_size, std::move(pieces));
+    if (!histogram.ok()) return histogram.status();
+    result.histogram = std::move(histogram).value();
+    return result;
+  }
+
+ private:
+  // Current partition planes.
+  std::vector<int64_t> begin_, end_;
+  std::vector<double> sum_, sumsq_;
+  // Candidate planes (merged statistics of pair p).
+  std::vector<double> cand_sum_, cand_sumsq_, cand_len_;
+  // Next-generation double buffers (swapped in by Commit).
+  std::vector<int64_t> next_begin_, next_end_;
+  std::vector<double> next_sum_, next_sumsq_;
+};
+
+// Piecewise-polynomial store: merging refits the degree-d least-squares
+// projection on the union interval (coefficients are not additive across a
+// boundary, so unlike the histogram moments the merged fit is recomputed
+// from q's support — O(support-in-interval * degree) per merge, which keeps
+// the whole construction sample-near-linear).  Coefficients live in a flat
+// plane of stride degree+1, zero-padded past each interval's effective
+// degree; bases are length-keyed cache entries shared by pointer.
+class PolyStore {
+ public:
+  PolyStore(const SparseFunction& q, GramBasisCache* cache, int degree)
+      : q_(&q), cache_(cache), stride_(static_cast<size_t>(degree) + 1) {}
+
+  // Fits the support partition of q.  The refits are data-parallel; bases
+  // are fetched (and so built) serially first, because GramBasisCache
+  // mutates on first use of a length.
+  void InitFromSupportPartition(ThreadPool* pool) {
+    const std::vector<Interval> initial = SupportPartition(*q_);
+    const size_t n = initial.size();
+    begin_.resize(n);
+    end_.resize(n);
+    err_.resize(n);
+    basis_.resize(n);
+    coeff_.resize(n * stride_);
+    for (size_t i = 0; i < n; ++i) {
+      begin_[i] = initial[i].begin;
+      end_[i] = initial[i].end;
+      basis_[i] = &cache_->For(initial[i].length());
+    }
+    ParallelFor(pool, 0, static_cast<int64_t>(n), kPolyGrain,
+                [&](int64_t chunk_begin, int64_t chunk_end) {
+                  std::vector<double> scratch;
+                  for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                    err_[i] = Refit(begin_[i], end_[i], *basis_[i],
+                                    &coeff_[static_cast<size_t>(i) * stride_],
+                                    scratch);
+                  }
+                });
+    cand_coeff_.reserve((n / 2) * stride_);
+    cand_basis_.reserve(n / 2);
+    next_begin_.reserve(n);
+    next_end_.reserve(n);
+    next_err_.reserve(n);
+    next_basis_.reserve(n);
+    next_coeff_.reserve(n * stride_);
+  }
+
+  size_t size() const { return begin_.size(); }
+
+  void EvaluatePairs(size_t num_pairs, ThreadPool* pool,
+                     std::vector<double>& err) {
+    err.resize(num_pairs);
+    cand_coeff_.resize(num_pairs * stride_);
+    cand_basis_.resize(num_pairs);
+    // Serial pre-warm: after this loop every merged length has a cache
+    // entry, so the parallel refits below only read the cache (std::map
+    // nodes are stable, concurrent reads are safe).
+    for (size_t p = 0; p < num_pairs; ++p) {
+      cand_basis_[p] = &cache_->For(end_[2 * p + 1] - begin_[2 * p]);
+    }
+    ParallelFor(pool, 0, static_cast<int64_t>(num_pairs), kPolyGrain,
+                [&](int64_t chunk_begin, int64_t chunk_end) {
+                  std::vector<double> scratch;
+                  for (int64_t p = chunk_begin; p < chunk_end; ++p) {
+                    err[p] = Refit(begin_[2 * p], end_[2 * p + 1],
+                                   *cand_basis_[p],
+                                   &cand_coeff_[static_cast<size_t>(p) *
+                                                stride_],
+                                   scratch);
+                  }
+                });
+  }
+
+  void Commit(const std::vector<char>& keep_split, size_t num_pairs,
+              const std::vector<double>& candidate_err) {
+    next_begin_.clear();
+    next_end_.clear();
+    next_err_.clear();
+    next_basis_.clear();
+    next_coeff_.clear();
+    for (size_t p = 0; p < num_pairs; ++p) {
+      if (keep_split[p]) {
+        AppendAtom(2 * p);
+        AppendAtom(2 * p + 1);
+      } else {
+        next_begin_.push_back(begin_[2 * p]);
+        next_end_.push_back(end_[2 * p + 1]);
+        next_err_.push_back(candidate_err[p]);
+        next_basis_.push_back(cand_basis_[p]);
+        next_coeff_.insert(next_coeff_.end(),
+                           cand_coeff_.begin() +
+                               static_cast<ptrdiff_t>(p * stride_),
+                           cand_coeff_.begin() +
+                               static_cast<ptrdiff_t>((p + 1) * stride_));
+      }
+    }
+    if (size() % 2 == 1) AppendAtom(size() - 1);
+    begin_.swap(next_begin_);
+    end_.swap(next_end_);
+    err_.swap(next_err_);
+    basis_.swap(next_basis_);
+    coeff_.swap(next_coeff_);
+  }
+
+  // Piecewise polynomial of the surviving partition and its summed error.
+  StatusOr<PiecewisePolyResult> Finish(long long num_rounds) const {
+    PiecewisePolyResult result;
+    result.num_rounds = num_rounds;
+    result.err_squared = 0.0;
+    std::vector<PolyFit> fits(size());
+    for (size_t i = 0; i < size(); ++i) {
+      PolyFit& fit = fits[i];
+      fit.interval = {begin_[i], end_[i]};
+      fit.basis = *basis_[i];
+      const auto first =
+          coeff_.begin() + static_cast<ptrdiff_t>(i * stride_);
+      fit.coefficients.assign(first, first + basis_[i]->degree() + 1);
+      fit.err_squared = err_[i];
+      result.err_squared += err_[i];
+    }
+    auto function =
+        PiecewisePolynomial::Create(q_->domain_size(), std::move(fits));
+    if (!function.ok()) return function.status();
+    result.function = std::move(function).value();
+    return result;
+  }
+
+ private:
+  void AppendAtom(size_t i) {
+    next_begin_.push_back(begin_[i]);
+    next_end_.push_back(end_[i]);
+    next_err_.push_back(err_[i]);
+    next_basis_.push_back(basis_[i]);
+    next_coeff_.insert(
+        next_coeff_.end(),
+        coeff_.begin() + static_cast<ptrdiff_t>(i * stride_),
+        coeff_.begin() + static_cast<ptrdiff_t>((i + 1) * stride_));
+  }
+
+  // ProjectOntoBasis (poly/fit_poly.h) on the planes — the exact same
+  // inner loop FitPolyWithBasis and the DP baseline use, so the engine can
+  // never drift from them numerically.  The slots past the basis's
+  // effective degree are zeroed here so plane copies never carry stale
+  // values.
+  double Refit(int64_t begin, int64_t end, const GramBasis& basis,
+               double* coeff, std::vector<double>& scratch) const {
+    for (size_t j = static_cast<size_t>(basis.degree()) + 1; j < stride_;
+         ++j) {
+      coeff[j] = 0.0;
+    }
+    return ProjectOntoBasis(*q_, {begin, end}, basis, coeff, &scratch);
+  }
+
+  const SparseFunction* q_;
+  GramBasisCache* cache_;
+  size_t stride_;  // degree + 1 coefficient slots per atom
+
+  // Current partition planes.
+  std::vector<int64_t> begin_, end_;
+  std::vector<double> err_;
+  std::vector<const GramBasis*> basis_;
+  std::vector<double> coeff_;  // size() * stride_
+  // Candidate planes.
+  std::vector<double> cand_coeff_;
+  std::vector<const GramBasis*> cand_basis_;
+  // Next-generation double buffers.
+  std::vector<int64_t> next_begin_, next_end_;
+  std::vector<double> next_err_;
+  std::vector<const GramBasis*> next_basis_;
+  std::vector<double> next_coeff_;
+};
+
+}  // namespace
+
+// Algorithm 1's round skeleton, generic over the SoA store (see the block
+// comment above the stores).  Both selection strategies rank under the same
+// strict (error desc, index asc) total order, so they pick identical pair
+// sets and the engine's two speeds are bit-for-bit interchangeable for any
+// store — as are its serial and threaded modes, because pair evaluation
+// writes disjoint slots and selection only reads the finished error plane.
+namespace {
+
+template <typename Store>
+long long RunRounds(Store& store, int64_t k, const MergingOptions& options,
+                    SelectionStrategy strategy, ThreadPool* pool) {
   const int64_t keep = PairsKeptPerRound(k, options);
-  // gamma stops the rounds early (Corollary 3.1): at most ~2*gamma*keep+1
-  // pieces survive, in exchange for fewer rounds over the large partitions.
-  const int64_t stop =
-      2 * static_cast<int64_t>(options.gamma * static_cast<double>(keep)) + 1;
+  const int64_t stop = StopThreshold(keep, options);
   long long num_rounds = 0;
 
-  std::vector<typename Policy::Atom> candidates;
+  // Round-persistent scratch: sized once, then only resized downward as the
+  // partition shrinks (capacity is never released mid-run).
   std::vector<double> candidate_err;
   std::vector<size_t> order;
-  std::vector<bool> keep_split;
+  std::vector<char> keep_split;
+  candidate_err.reserve(store.size() / 2);
+  order.reserve(store.size() / 2);
+  keep_split.reserve(store.size() / 2);
 
-  while (static_cast<int64_t>(atoms.size()) > stop) {
-    const size_t num_pairs = atoms.size() / 2;
-    candidates.clear();
-    candidates.reserve(num_pairs);
-    candidate_err.resize(num_pairs);
-    for (size_t p = 0; p < num_pairs; ++p) {
-      candidates.push_back(policy.MergePair(atoms[2 * p], atoms[2 * p + 1]));
-      candidate_err[p] = policy.ErrorOf(candidates[p]);
-    }
+  while (static_cast<int64_t>(store.size()) > stop) {
+    const size_t num_pairs = store.size() / 2;
+    store.EvaluatePairs(num_pairs, pool, candidate_err);
 
     // Rank pairs under the strict total order (error desc, index asc) and
     // mark the top `keep` to stay split.
@@ -97,53 +425,14 @@ long long RunRounds(Policy& policy, std::vector<typename Policy::Atom>& atoms,
         }
         break;
     }
-    keep_split.assign(num_pairs, false);
-    for (size_t i = 0; i < num_keep; ++i) keep_split[order[i]] = true;
+    keep_split.assign(num_pairs, 0);
+    for (size_t i = 0; i < num_keep; ++i) keep_split[order[i]] = 1;
 
-    std::vector<typename Policy::Atom> next;
-    next.reserve(num_pairs + num_keep + 1);
-    for (size_t p = 0; p < num_pairs; ++p) {
-      if (keep_split[p]) {
-        next.push_back(std::move(atoms[2 * p]));
-        next.push_back(std::move(atoms[2 * p + 1]));
-      } else {
-        next.push_back(std::move(candidates[p]));
-      }
-    }
-    if (atoms.size() % 2 == 1) next.push_back(std::move(atoms.back()));
-    atoms.swap(next);
+    store.Commit(keep_split, num_pairs, candidate_err);
     ++num_rounds;
   }
   return num_rounds;
 }
-
-// Histogram policy: closed-form sufficient statistics, O(1) per merge.
-struct HistogramPolicy {
-  using Atom = MergeAtom;
-  Atom MergePair(const Atom& a, const Atom& b) const {
-    return Atom{a.begin, b.end, a.sum + b.sum, a.sumsq + b.sumsq};
-  }
-  double ErrorOf(const Atom& atom) const { return AtomError(atom); }
-};
-
-// Piecewise-polynomial policy: merging refits the degree-d least-squares
-// projection on the union interval (coefficients are not additive across a
-// boundary, so unlike the histogram moments the merged fit must be
-// recomputed from q's support — O(support-in-interval * degree) per merge,
-// which keeps the whole construction sample-near-linear).
-struct PolyPolicy {
-  using Atom = PolyFit;
-  const SparseFunction* q;
-  GramBasisCache* cache;
-
-  Atom MergePair(const Atom& a, const Atom& b) const {
-    const Interval merged{a.interval.begin, b.interval.end};
-    // Infallible: the union of two in-domain atoms is in-domain and the
-    // cached basis matches its length by construction.
-    return FitPolyWithBasis(*q, merged, cache->For(merged.length())).value();
-  }
-  double ErrorOf(const Atom& fit) const { return fit.err_squared; }
-};
 
 }  // namespace
 
@@ -190,22 +479,10 @@ StatusOr<MergingResult> RunMergingRounds(int64_t domain_size,
                                          SelectionStrategy strategy) {
   if (Status s = ValidateRoundArgs(domain_size, k, options); !s.ok()) return s;
 
-  HistogramPolicy policy;
-  MergingResult result;
-  result.num_rounds = RunRounds(policy, atoms, k, options, strategy);
-
-  std::vector<HistogramPiece> pieces;
-  pieces.reserve(atoms.size());
-  result.err_squared = 0.0;
-  for (const MergeAtom& atom : atoms) {
-    const double length = static_cast<double>(atom.end - atom.begin);
-    pieces.push_back({{atom.begin, atom.end}, atom.sum / length});
-    result.err_squared += AtomError(atom);
-  }
-  auto histogram = Histogram::Create(domain_size, std::move(pieces));
-  if (!histogram.ok()) return histogram.status();
-  result.histogram = std::move(histogram).value();
-  return result;
+  HistogramStore store(atoms);
+  const long long num_rounds =
+      RunRounds(store, k, options, strategy, PoolFor(options));
+  return store.Finish(domain_size, num_rounds);
 }
 
 StatusOr<PiecewisePolyResult> RunPolyMergingRounds(
@@ -218,27 +495,12 @@ StatusOr<PiecewisePolyResult> RunPolyMergingRounds(
     return Status::Invalid("poly merging: degree must be >= 0");
   }
 
+  ThreadPool* pool = PoolFor(options);
   GramBasisCache cache(degree);
-  std::vector<PolyFit> fits;
-  {
-    const std::vector<Interval> initial = SupportPartition(q);
-    fits.reserve(initial.size());
-    for (const Interval& interval : initial) {
-      fits.push_back(
-          FitPolyWithBasis(q, interval, cache.For(interval.length())).value());
-    }
-  }
-
-  PolyPolicy policy{&q, &cache};
-  PiecewisePolyResult result;
-  result.num_rounds = RunRounds(policy, fits, k, options, strategy);
-
-  result.err_squared = 0.0;
-  for (const PolyFit& fit : fits) result.err_squared += fit.err_squared;
-  auto function = PiecewisePolynomial::Create(q.domain_size(), std::move(fits));
-  if (!function.ok()) return function.status();
-  result.function = std::move(function).value();
-  return result;
+  PolyStore store(q, &cache, degree);
+  store.InitFromSupportPartition(pool);
+  const long long num_rounds = RunRounds(store, k, options, strategy, pool);
+  return store.Finish(num_rounds);
 }
 
 }  // namespace internal

@@ -29,14 +29,19 @@ struct MergeAtom {
 // the two strategies produce identical outputs.
 enum class SelectionStrategy { kSort, kSelect };
 
-// The round loop itself (RunRounds in merge_engine.cc) is generic over an
-// atom policy: the histogram instantiation merges sum/sumsq statistics in
-// O(1), the piecewise-polynomial instantiation refits a Gram-basis
-// least-squares projection on the merged interval.  Both entry points below
-// share the selection strategies, the (error, index) total order, the
-// delta/gamma round schedule, and the termination argument — which is what
-// makes the sqrt(1 + delta) guarantee a single proof (and, later, a single
-// SIMD target).
+// The round loop itself (RunRounds in merge_engine.cc) is generic over a
+// policy-owned structure-of-arrays store: the histogram store keeps
+// begin[]/end[]/sum[]/sumsq[] planes and merges statistics with streaming
+// SIMD kernels (util/simd.h), the piecewise-polynomial store keeps interval
+// and coefficient planes and refits a Gram-basis least-squares projection
+// per merged pair.  Candidate and next-generation buffers persist across
+// rounds (no per-round allocation), and the per-round candidate pass is
+// data-parallel over MergingOptions::num_threads (util/parallel.h) with
+// bit-identical output at any thread count.  Both entry points below share
+// the selection strategies, the (error, index) total order, the delta/gamma
+// round schedule, and the termination argument — which is what makes the
+// sqrt(1 + delta) guarantee a single proof and the engine a single
+// SIMD/threading target.
 
 // Initial sample-linear partition of q: alternating zero-run atoms and
 // singleton support atoms covering [0, domain).

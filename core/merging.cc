@@ -16,7 +16,8 @@ StatusOr<MergingResult> ConstructHistogram(const SparseFunction& q, int64_t k,
 
 StatusOr<Histogram> MergeHistograms(const Histogram& h1, double weight1,
                                     const Histogram& h2, double weight2,
-                                    int64_t k) {
+                                    int64_t k,
+                                    const MergingOptions& options) {
   if (h1.domain_size() != h2.domain_size()) {
     return Status::Invalid("MergeHistograms: domain mismatch");
   }
@@ -47,9 +48,11 @@ StatusOr<Histogram> MergeHistograms(const Histogram& h1, double weight1,
     if (p2.interval.end == end) ++i2;
   }
 
+  // The selection path: identical output to kSort (the engine's strict
+  // total order) at linear per-round cost — this is a serving primitive.
   auto merged = internal::RunMergingRounds(
-      h1.domain_size(), std::move(atoms), k, MergingOptions(),
-      internal::SelectionStrategy::kSort);
+      h1.domain_size(), std::move(atoms), k, options,
+      internal::SelectionStrategy::kSelect);
   if (!merged.ok()) return merged.status();
   return std::move(merged->histogram);
 }

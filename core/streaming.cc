@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "core/fast_merging.h"
 #include "dist/empirical.h"
 
 namespace fasthist {
 
 StatusOr<StreamingHistogramBuilder> StreamingHistogramBuilder::Create(
-    int64_t domain_size, int64_t k, size_t buffer_capacity) {
+    int64_t domain_size, int64_t k, size_t buffer_capacity,
+    const MergingOptions& options) {
   if (domain_size <= 0) {
     return Status::Invalid("StreamingHistogramBuilder: domain must be positive");
   }
@@ -17,7 +19,7 @@ StatusOr<StreamingHistogramBuilder> StreamingHistogramBuilder::Create(
   if (buffer_capacity == 0) {
     return Status::Invalid("StreamingHistogramBuilder: buffer must be >= 1");
   }
-  return StreamingHistogramBuilder(domain_size, k, buffer_capacity);
+  return StreamingHistogramBuilder(domain_size, k, buffer_capacity, options);
 }
 
 Status StreamingHistogramBuilder::Add(int64_t sample) {
@@ -42,7 +44,7 @@ Status StreamingHistogramBuilder::Flush() {
 
   auto empirical = EmpiricalDistribution(domain_size_, buffer_);
   if (!empirical.ok()) return empirical.status();
-  auto batch = ConstructHistogram(*empirical, k_);
+  auto batch = ConstructHistogramFast(*empirical, k_, options_);
   if (!batch.ok()) return batch.status();
 
   const int64_t batch_count = static_cast<int64_t>(buffer_.size());
@@ -51,7 +53,7 @@ Status StreamingHistogramBuilder::Flush() {
   } else {
     auto merged = MergeHistograms(
         summary_, static_cast<double>(summarized_count_), batch->histogram,
-        static_cast<double>(batch_count), k_);
+        static_cast<double>(batch_count), k_, options_);
     if (!merged.ok()) return merged.status();
     summary_ = std::move(merged).value();
   }

@@ -18,9 +18,12 @@ namespace fasthist {
 // empirical distribution of everything ingested so far.
 class StreamingHistogramBuilder {
  public:
-  static StatusOr<StreamingHistogramBuilder> Create(int64_t domain_size,
-                                                    int64_t k,
-                                                    size_t buffer_capacity);
+  // `options` (delta/gamma/num_threads) is applied to every internal
+  // condense and merge, so a multi-threaded ingest path just sets
+  // options.num_threads — summaries are bit-identical either way.
+  static StatusOr<StreamingHistogramBuilder> Create(
+      int64_t domain_size, int64_t k, size_t buffer_capacity,
+      const MergingOptions& options = MergingOptions());
 
   // Samples must lie in [0, domain_size).
   Status Add(int64_t sample);
@@ -37,14 +40,19 @@ class StreamingHistogramBuilder {
 
  private:
   StreamingHistogramBuilder(int64_t domain_size, int64_t k,
-                            size_t buffer_capacity)
-      : domain_size_(domain_size), k_(k), buffer_capacity_(buffer_capacity) {}
+                            size_t buffer_capacity,
+                            const MergingOptions& options)
+      : domain_size_(domain_size),
+        k_(k),
+        buffer_capacity_(buffer_capacity),
+        options_(options) {}
 
   Status Flush();
 
   int64_t domain_size_;
   int64_t k_;
   size_t buffer_capacity_;
+  MergingOptions options_;
   std::vector<int64_t> buffer_;
   Histogram summary_;             // valid iff summarized_count_ > 0
   int64_t summarized_count_ = 0;  // samples already folded into summary_

@@ -32,31 +32,40 @@ StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
   PolyFit fit;
   fit.interval = interval;
   fit.basis = basis;
-  fit.coefficients.assign(static_cast<size_t>(basis.degree()) + 1, 0.0);
+  fit.coefficients.resize(static_cast<size_t>(basis.degree()) + 1);
+  std::vector<double> scratch;
+  fit.err_squared = ProjectOntoBasis(q, interval, basis,
+                                     fit.coefficients.data(), &scratch);
+  return fit;
+}
+
+double ProjectOntoBasis(const SparseFunction& q, const Interval& interval,
+                        const GramBasis& basis, double* coeff,
+                        std::vector<double>* scratch) {
+  const size_t num_coeff = static_cast<size_t>(basis.degree()) + 1;
+  for (size_t j = 0; j < num_coeff; ++j) coeff[j] = 0.0;
 
   // c_j = <q, p_j> over the interval; only the support contributes.
   const std::vector<int64_t>& indices = q.indices();
   const std::vector<double>& values = q.values();
   const auto first = std::lower_bound(indices.begin(), indices.end(),
                                       interval.begin);
-  std::vector<double> basis_values;
   double sum_squares = 0.0;
   for (auto it = first; it != indices.end() && *it < interval.end; ++it) {
     const size_t s = static_cast<size_t>(it - indices.begin());
     const double v = values[s];
-    basis.EvaluateAt(static_cast<double>(*it - interval.begin), &basis_values);
-    for (size_t j = 0; j < fit.coefficients.size(); ++j) {
-      fit.coefficients[j] += v * basis_values[j];
-    }
+    basis.EvaluateAt(static_cast<double>(*it - interval.begin), scratch);
+    for (size_t j = 0; j < num_coeff; ++j) coeff[j] += v * (*scratch)[j];
     sum_squares += v * v;
   }
 
   // Orthonormal projection: residual = ||q||^2 - ||c||^2.  Clamp the tiny
   // negative values floating-point cancellation can produce.
   double coeff_norm_sq = 0.0;
-  for (double c : fit.coefficients) coeff_norm_sq += c * c;
-  fit.err_squared = std::max(0.0, sum_squares - coeff_norm_sq);
-  return fit;
+  for (size_t j = 0; j < num_coeff; ++j) {
+    coeff_norm_sq += coeff[j] * coeff[j];
+  }
+  return std::max(0.0, sum_squares - coeff_norm_sq);
 }
 
 const GramBasis& GramBasisCache::For(int64_t length) {

@@ -39,6 +39,17 @@ StatusOr<PolyFit> FitPolyWithBasis(const SparseFunction& q,
                                    const Interval& interval,
                                    const GramBasis& basis);
 
+// The shared inner loop of FitPolyWithBasis and the merge engine's SoA
+// refit: projects q restricted to `interval` onto `basis`, writing the
+// basis.degree()+1 coefficients into `coeff` (caller-allocated) and
+// returning the squared residual ||q||^2 - ||c||^2 clamped at zero.
+// `scratch` carries basis evaluations between calls so tight refit loops
+// stay allocation-free.  Keeping this in one place is what guarantees the
+// engine and the exact-DP baseline never drift apart numerically.
+double ProjectOntoBasis(const SparseFunction& q, const Interval& interval,
+                        const GramBasis& basis, double* coeff,
+                        std::vector<double>* scratch);
+
 // One GramBasis per distinct interval length, built on first use.  The
 // merging rounds and the exact DP baseline revisit the same lengths
 // constantly (every pair of equal length shares a basis), so the cache

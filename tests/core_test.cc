@@ -102,6 +102,34 @@ TEST(MergingRejectsBadArguments) {
   CHECK(!ConstructHistogram(q, 0).ok());
   CHECK(!ConstructHistogram(q, 2, MergingOptions{0.0, 1.0}).ok());
   CHECK(!ConstructHistogram(q, 2, MergingOptions{1.0, 0.5}).ok());
+  MergingOptions no_threads;
+  no_threads.num_threads = 0;
+  CHECK(!ConstructHistogram(q, 2, no_threads).ok());
+}
+
+TEST(MergingClampsExtremeKeepSchedule) {
+  // Regression: the per-round keep count is k * (1 + 1/delta), which
+  // overflows int64 for tiny delta (and the stop threshold likewise for
+  // huge gamma).  The old static_cast of the out-of-range double was UB;
+  // the engine now clamps before casting, so these runs must terminate
+  // cleanly with "keep everything" semantics: no pair ever merges, the
+  // output is the exact support partition, and the error is zero.
+  const std::vector<double> data = SmallHistData();
+  const SparseFunction q = SparseFunction::FromDense(data);
+  const size_t support = q.support_size();
+  for (const MergingOptions& extreme :
+       {MergingOptions{1e-18, 1.0}, MergingOptions{1e-300, 1.0},
+        MergingOptions{1000.0, 1e30}}) {
+    for (auto construct : {&ConstructHistogram, &ConstructHistogramFast}) {
+      auto result = construct(q, 10, extreme);
+      CHECK_OK(result);
+      CHECK(result->num_rounds == 0);
+      CHECK_NEAR(result->err_squared, 0.0, 0.0);
+      // The untouched support partition reproduces q exactly.
+      CHECK(static_cast<size_t>(result->histogram.num_pieces()) >= support);
+      CHECK_NEAR(result->histogram.L2DistanceSquaredTo(q), 0.0, 1e-12);
+    }
+  }
 }
 
 TEST(MergeHistogramsApproximatesWeightedMixture) {

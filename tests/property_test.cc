@@ -211,6 +211,89 @@ TEST(PolyDegreeZeroMatchesHistogramMerging) {
   }
 }
 
+TEST(ThreadedHistogramMatchesSerialRandomized) {
+  // MergingOptions::num_threads must be invisible in the output: the
+  // engine's pair evaluation writes disjoint slots and selection ranks
+  // under a strict total order, so serial, 2-thread and 8-thread runs are
+  // bit-identical — for both selection strategies, and under threading the
+  // sort and select paths still agree with each other.  Inputs are large
+  // enough (support >> the engine's chunk grain) that the pool really
+  // splits the candidate pass; every third seed uses a sparse empirical
+  // input over a huge domain.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(0x9a11'0000 + seed);
+    SparseFunction q;
+    if (seed % 3 == 2) {
+      const int64_t domain = 50'000'000;
+      std::vector<int64_t> samples;
+      for (int i = 0; i < 20'000; ++i) samples.push_back(rng.UniformInt(domain));
+      q = EmpiricalDistribution(domain, samples).value();
+    } else {
+      q = SparseFunction::FromDense(RandomSignal(rng, 30'000, 8, 0.5));
+    }
+    for (const MergingOptions& base :
+         {MergingOptions{1000.0, 1.0, 1}, MergingOptions{0.5, 2.0, 1}}) {
+      const auto slow_serial = ConstructHistogram(q, 13, base);
+      const auto fast_serial = ConstructHistogramFast(q, 13, base);
+      CHECK_OK(slow_serial);
+      CHECK_OK(fast_serial);
+      CheckHistogramsIdentical(*slow_serial, *fast_serial);
+      for (int threads : {2, 8}) {
+        MergingOptions threaded = base;
+        threaded.num_threads = threads;
+        const auto slow = ConstructHistogram(q, 13, threaded);
+        const auto fast = ConstructHistogramFast(q, 13, threaded);
+        CHECK_OK(slow);
+        CHECK_OK(fast);
+        CheckHistogramsIdentical(*slow_serial, *slow);
+        CheckHistogramsIdentical(*slow_serial, *fast);
+      }
+    }
+  }
+}
+
+TEST(ThreadedPolyMatchesSerialRandomized) {
+  // The polynomial twin: threaded refits write disjoint coefficient-plane
+  // slots, so pieces, coefficients, err_squared and num_rounds are
+  // bit-identical to the serial run at every degree, again for both
+  // selection strategies.
+  for (int degree = 0; degree <= 3; ++degree) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      Rng rng(0x9a77'0000 + 1000 * static_cast<uint64_t>(degree) + seed);
+      const SparseFunction q =
+          SparseFunction::FromDense(RandomSignal(rng, 4096, 6, 0.4));
+      const MergingOptions serial{1000.0, 1.0, 1};
+      const auto reference = ConstructPiecewisePolynomial(q, 7, degree, serial);
+      CHECK_OK(reference);
+      for (int threads : {2, 8}) {
+        const MergingOptions threaded{1000.0, 1.0, threads};
+        const auto slow = ConstructPiecewisePolynomial(q, 7, degree, threaded);
+        const auto fast =
+            ConstructPiecewisePolynomialFast(q, 7, degree, threaded);
+        CHECK_OK(slow);
+        CHECK_OK(fast);
+        for (const PiecewisePolyResult* result : {&*slow, &*fast}) {
+          CHECK(reference->num_rounds == result->num_rounds);
+          CHECK_NEAR(reference->err_squared, result->err_squared, 0.0);
+          CHECK(reference->function.num_pieces() ==
+                result->function.num_pieces());
+          for (int64_t p = 0; p < reference->function.num_pieces(); ++p) {
+            const PolyFit& a =
+                reference->function.pieces()[static_cast<size_t>(p)];
+            const PolyFit& b = result->function.pieces()[static_cast<size_t>(p)];
+            CHECK(a.interval.begin == b.interval.begin);
+            CHECK(a.interval.end == b.interval.end);
+            CHECK(a.coefficients.size() == b.coefficients.size());
+            for (size_t j = 0; j < a.coefficients.size(); ++j) {
+              CHECK_NEAR(a.coefficients[j], b.coefficients[j], 0.0);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(MergeHistogramsIsWeightRespecting) {
   const int64_t n = 256;
   const int64_t k = 8;

@@ -1,10 +1,13 @@
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <vector>
 
 #include "tests/fasthist_test.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/selection.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -70,6 +73,92 @@ TEST(RngIsDeterministicPerSeed) {
   for (int i = 0; i < 20000; ++i) stats.Add(g.Gaussian());
   CHECK_NEAR(stats.Mean(), 0.0, 0.05);
   CHECK_NEAR(stats.StdDev(), 1.0, 0.05);
+}
+
+TEST(ParallelForCoversRangeExactlyOnce) {
+  // The pool's contract: disjoint chunks covering the range, every index
+  // exactly once, for any pool size / grain / range combination (including
+  // ranges smaller than one grain, which run inline on the caller).  Pools
+  // are reused across calls via the Shared registry.
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool& pool = ThreadPool::Shared(threads);
+    CHECK(pool.num_threads() == threads);
+    for (int64_t range : {1, 7, 1000, 10007}) {
+      for (int64_t grain : {1, 16, 4096}) {
+        std::vector<int> hits(static_cast<size_t>(range), 0);
+        std::atomic<int> chunks{0};
+        pool.ParallelFor(0, range, grain,
+                         [&](int64_t chunk_begin, int64_t chunk_end) {
+                           CHECK(chunk_begin < chunk_end);
+                           ++chunks;
+                           for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+                             ++hits[static_cast<size_t>(i)];
+                           }
+                         });
+        for (int h : hits) CHECK(h == 1);
+        // Static partitioning: at most one chunk per thread, and never more
+        // chunks than grain-sized pieces fit in the range.
+        CHECK(chunks.load() <= threads);
+        CHECK(chunks.load() <= (range + grain - 1) / grain);
+      }
+    }
+  }
+  // The null-pool helper is the serial path.
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, 0, 100, 1, [&](int64_t b, int64_t e) {
+    CHECK(b == 0 && e == 100);
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) CHECK(h == 1);
+
+  // A throw inside a chunk — the caller's own (first chunk) or a worker's
+  // (a later chunk) — propagates to the caller after the barrier, and the
+  // pool stays fully usable afterwards.
+  ThreadPool& pool = ThreadPool::Shared(4);
+  for (const int64_t bad_chunk_begin : {0, 750}) {
+    bool caught = false;
+    try {
+      pool.ParallelFor(0, 1000, 1, [&](int64_t b, int64_t) {
+        if (b == bad_chunk_begin) throw std::runtime_error("chunk failure");
+      });
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+    CHECK(caught);
+    std::vector<int> again(1000, 0);
+    pool.ParallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ++again[static_cast<size_t>(i)];
+    });
+    for (int h : again) CHECK(h == 1);
+  }
+}
+
+TEST(SimdKernelsMatchScalar) {
+  // The simd shim's kernels must agree bit-for-bit with their scalar
+  // definitions on every lane, including the unaligned tail — this is the
+  // foundation of the engine's serial == threaded == SIMD determinism.
+  Rng rng(29);
+  for (size_t n : {0, 1, 3, 4, 5, 31, 128}) {
+    std::vector<double> src(2 * n), sum(n), sumsq(n), len(n);
+    for (double& x : src) x = rng.Gaussian();
+    std::vector<double> pair_out(n, -1.0);
+    simd::PairwiseSum(src.data(), n, pair_out.data());
+    for (size_t i = 0; i < n; ++i) {
+      CHECK_NEAR(pair_out[i], src[2 * i] + src[2 * i + 1], 0.0);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      sum[i] = 10.0 * rng.Gaussian();
+      sumsq[i] = std::abs(10.0 * rng.Gaussian());
+      len[i] = 1.0 + static_cast<double>(rng.UniformInt(50));
+    }
+    std::vector<double> err(n, -1.0);
+    simd::ResidualError(sum.data(), sumsq.data(), len.data(), n, err.data());
+    for (size_t i = 0; i < n; ++i) {
+      const double r = sumsq[i] - sum[i] * sum[i] / len[i];
+      CHECK_NEAR(err[i], r > 0.0 ? r : 0.0, 0.0);
+      CHECK(err[i] >= 0.0);
+    }
+  }
 }
 
 TEST(TablePrinterFormatsAndPrints) {

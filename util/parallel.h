@@ -1,0 +1,97 @@
+#ifndef FASTHIST_UTIL_PARALLEL_H_
+#define FASTHIST_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fasthist {
+
+// A small reusable thread pool with one data-parallel primitive,
+// ParallelFor.  Partitioning is static and deterministic: the range is cut
+// into at most num_threads() contiguous chunks of at least `grain` elements,
+// chunk boundaries depend only on (begin, end, grain, num_threads), and
+// there is no work stealing — so which thread runs which chunk never affects
+// which elements a chunk contains.  Callers that write disjoint outputs per
+// index therefore get results that are bit-identical to the serial loop,
+// which is the contract the merge engine's serial == threaded guarantee
+// rests on (see core/internal/merge_engine.cc and README "Engine
+// architecture").
+//
+// The calling thread participates: a pool constructed with num_threads = t
+// spawns t - 1 workers and runs the first chunk on the caller, so
+// ThreadPool(1) degrades to a plain serial loop with no synchronization.
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 worker threads (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes body(chunk_begin, chunk_end) over disjoint chunks covering
+  // [begin, end), each at least `grain` long (except possibly when the whole
+  // range is shorter), and blocks until every chunk has finished.  Safe to
+  // call from multiple threads; concurrent calls serialize against each
+  // other.  Reentrant calls from inside `body` run inline (serial).
+  // Exception-safe: never returns (or unwinds) while a worker still runs a
+  // chunk; a throw from a worker chunk is captured and the first one is
+  // rethrown on the calling thread after the barrier, a throw from the
+  // caller's own chunk propagates after the barrier.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  // Process-wide pool registry: one lazily-created pool per distinct thread
+  // count, so repeated merge calls reuse threads instead of respawning them.
+  // Pools live for the duration of the process.
+  static ThreadPool& Shared(int num_threads);
+
+ private:
+  struct Chunk {
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+
+  std::mutex dispatch_mu_;  // one ParallelFor at a time per pool
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int64_t, int64_t)>* body_ = nullptr;
+  std::vector<Chunk> chunks_;  // chunk 0 runs on the caller, chunk i on
+                               // worker i-1; sized per dispatch
+  uint64_t epoch_ = 0;         // bumped once per dispatch
+  int pending_ = 0;            // worker chunks not yet finished
+  std::exception_ptr worker_exception_;  // first throw from a worker chunk
+  bool shutting_down_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+// Serial-or-parallel helper: with a null pool (or a range no longer than one
+// grain) runs `body` inline over the whole range, otherwise dispatches to
+// the pool.  This is the form the engine calls — `pool` is null exactly when
+// MergingOptions::num_threads <= 1.
+inline void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                        int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (pool == nullptr || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  pool->ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_PARALLEL_H_
