@@ -1,0 +1,222 @@
+// End-to-end throughput of the service layer over a shards x samples grid:
+// per-shard ingest (StreamingHistogramBuilder::AddMany), snapshot export +
+// wire encoding, merge-tree reduction at fan-in 2/4/8, and quantile-query
+// latency on the aggregate.  Writes the machine-readable perf trajectory to
+// BENCH_service.json (same schema as BENCH_merge.json).
+//
+//   bench_service --grid [--smoke] [--out=PATH]
+//
+// --smoke shrinks the grid for CI; the binary exits non-zero if any
+// service call fails or the aggregate loses mass, so the smoke run doubles
+// as an end-to-end correctness check.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "service/aggregator.h"
+#include "service/merge_tree.h"
+#include "service/shard.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+constexpr int64_t kDomain = 4096;
+constexpr int64_t kK = 16;
+constexpr size_t kBufferCapacity = 2048;
+constexpr int kNumQuantileQueries = 1024;
+
+struct GridPoint {
+  int64_t shards = 0;
+  int64_t samples_per_shard = 0;
+};
+
+[[noreturn]] void Die(const char* where, const Status& status) {
+  std::fprintf(stderr, "bench_service: %s: %s\n", where,
+               status.message().c_str());
+  std::exit(2);
+}
+
+std::vector<std::vector<int64_t>> MakeShardStreams(const AliasSampler& sampler,
+                                                   int64_t shards,
+                                                   int64_t samples_per_shard) {
+  std::vector<std::vector<int64_t>> streams;
+  streams.reserve(static_cast<size_t>(shards));
+  for (int64_t shard = 0; shard < shards; ++shard) {
+    Rng rng(0xbe9c0000 + static_cast<uint64_t>(shard));
+    streams.push_back(
+        sampler.SampleMany(static_cast<size_t>(samples_per_shard), &rng));
+  }
+  return streams;
+}
+
+std::vector<ShardSnapshot> IngestAndExport(
+    const std::vector<std::vector<int64_t>>& streams) {
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(streams.size());
+  for (size_t shard = 0; shard < streams.size(); ++shard) {
+    auto ingestor = ShardIngestor::Create(static_cast<uint64_t>(shard),
+                                          kDomain, kK, kBufferCapacity);
+    if (!ingestor.ok()) Die("ShardIngestor::Create", ingestor.status());
+    if (Status s = ingestor->Ingest(streams[shard]); !s.ok()) {
+      Die("Ingest", s);
+    }
+    auto snapshot = ingestor->ExportSnapshot();
+    if (!snapshot.ok()) Die("ExportSnapshot", snapshot.status());
+    snapshots.push_back(std::move(snapshot).value());
+  }
+  return snapshots;
+}
+
+int RunGrid(bool smoke, const std::string& out_path) {
+  const std::vector<int64_t> shard_counts =
+      smoke ? std::vector<int64_t>{1, 4} : std::vector<int64_t>{1, 4, 16, 64};
+  const std::vector<int64_t> sample_counts =
+      smoke ? std::vector<int64_t>{4096}
+            : std::vector<int64_t>{16384, 131072};
+  const double min_ms = smoke ? 5.0 : 30.0;
+  const int max_reps = smoke ? 5 : 200;
+
+  auto p = NormalizeToDistribution(MakeHistDataset({kDomain, 19980607, 10,
+                                                    20.0, 100.0, 1.0}));
+  if (!p.ok()) Die("NormalizeToDistribution", p.status());
+  auto sampler = AliasSampler::Create(*p);
+  if (!sampler.ok()) Die("AliasSampler::Create", sampler.status());
+
+  bench_util::JsonBenchWriter writer("service");
+  writer.AddContext("domain", static_cast<double>(kDomain));
+  writer.AddContext("k", static_cast<double>(kK));
+  writer.AddContext("buffer_capacity", static_cast<double>(kBufferCapacity));
+  writer.AddContext("hardware_threads",
+                    static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddContext("smoke", smoke ? 1.0 : 0.0);
+
+  TablePrinter table({"shards", "samples/shard", "ingest Msamp/s",
+                      "snap bytes/shard", "reduce ms f2", "reduce ms f4",
+                      "reduce ms f8", "depth f2", "query us", "pieces"});
+
+  for (const int64_t shards : shard_counts) {
+    for (const int64_t samples_per_shard : sample_counts) {
+      const auto streams = MakeShardStreams(*sampler, shards,
+                                            samples_per_shard);
+
+      // Ingest throughput: shard creation + AddMany + snapshot export, the
+      // full per-shard pipeline a server would run.
+      const double ingest_ms = bench_util::TimeMillis(
+          [&] { IngestAndExport(streams); }, min_ms, max_reps);
+      const double total_samples =
+          static_cast<double>(shards * samples_per_shard);
+      const double ingest_msamples_per_s = total_samples / (ingest_ms * 1e3);
+
+      const std::vector<ShardSnapshot> snapshots = IngestAndExport(streams);
+      double snapshot_bytes = 0.0;
+      for (const ShardSnapshot& snapshot : snapshots) {
+        snapshot_bytes +=
+            static_cast<double>(snapshot.encoded_histogram.size());
+      }
+      snapshot_bytes /= static_cast<double>(shards);
+
+      // Reduction time per fan-in (ReduceSnapshots includes the decode, the
+      // canonical sort, and every MergeHistograms of the tree).
+      double reduce_ms[3] = {0.0, 0.0, 0.0};
+      int depth_fan2 = 0;
+      MergeTreeResult reduced_fan2;
+      const int fan_ins[3] = {2, 4, 8};
+      for (int i = 0; i < 3; ++i) {
+        MergeTreeOptions options;
+        options.fan_in = fan_ins[i];
+        reduce_ms[i] = bench_util::TimeMillis(
+            [&] {
+              auto reduced = ReduceSnapshots(snapshots, kK, options);
+              if (!reduced.ok()) Die("ReduceSnapshots", reduced.status());
+            },
+            min_ms, max_reps);
+        auto reduced = ReduceSnapshots(snapshots, kK, options);
+        if (!reduced.ok()) Die("ReduceSnapshots", reduced.status());
+        if (std::abs(reduced->aggregate.TotalMass() - 1.0) > 1e-6) {
+          std::fprintf(stderr,
+                       "bench_service: aggregate mass drifted to %.9f\n",
+                       reduced->aggregate.TotalMass());
+          return 2;
+        }
+        if (fan_ins[i] == 2) {
+          depth_fan2 = reduced->depth;
+          reduced_fan2 = std::move(reduced).value();
+        }
+      }
+
+      // Query latency on the fan-in-2 aggregate.
+      auto aggregator = Aggregator::Create(reduced_fan2.aggregate);
+      if (!aggregator.ok()) Die("Aggregator::Create", aggregator.status());
+      const double query_ms = bench_util::TimeMillis(
+          [&] {
+            double sink = 0.0;
+            for (int i = 0; i < kNumQuantileQueries; ++i) {
+              const double q = (static_cast<double>(i) + 0.5) /
+                               static_cast<double>(kNumQuantileQueries);
+              sink += static_cast<double>(aggregator->Quantile(q));
+            }
+            if (sink < 0.0) std::abort();  // keep the loop observable
+          },
+          min_ms, max_reps);
+      const double query_us =
+          query_ms * 1e3 / static_cast<double>(kNumQuantileQueries);
+
+      const std::string name = "shards" + std::to_string(shards) +
+                               "_samples" + std::to_string(samples_per_shard);
+      writer.Add(name,
+                 {{"shards", static_cast<double>(shards)},
+                  {"samples_per_shard",
+                   static_cast<double>(samples_per_shard)},
+                  {"ingest_ms", ingest_ms},
+                  {"ingest_msamples_per_s", ingest_msamples_per_s},
+                  {"snapshot_bytes_per_shard", snapshot_bytes},
+                  {"reduce_ms_fan2", reduce_ms[0]},
+                  {"reduce_ms_fan4", reduce_ms[1]},
+                  {"reduce_ms_fan8", reduce_ms[2]},
+                  {"depth_fan2", static_cast<double>(depth_fan2)},
+                  {"query_us_per_quantile", query_us},
+                  {"aggregate_pieces",
+                   static_cast<double>(reduced_fan2.aggregate.num_pieces())}});
+      table.AddRow({TablePrinter::FormatInt(shards),
+                    TablePrinter::FormatInt(samples_per_shard),
+                    TablePrinter::FormatDouble(ingest_msamples_per_s, 2),
+                    TablePrinter::FormatDouble(snapshot_bytes, 0),
+                    TablePrinter::FormatDouble(reduce_ms[0], 3),
+                    TablePrinter::FormatDouble(reduce_ms[1], 3),
+                    TablePrinter::FormatDouble(reduce_ms[2], 3),
+                    TablePrinter::FormatInt(depth_fan2),
+                    TablePrinter::FormatDouble(query_us, 3),
+                    TablePrinter::FormatInt(
+                        reduced_fan2.aggregate.num_pieces())});
+    }
+  }
+
+  table.Print(std::cout);
+  if (!writer.WriteFile(out_path)) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) {
+  const bool smoke = fasthist::bench_util::HasFlag(argc, argv, "--smoke");
+  const char* out = fasthist::bench_util::FlagValue(argc, argv, "--out=");
+  // --grid is the only mode; accept (and ignore) its absence so plain runs
+  // behave the same.
+  return fasthist::RunGrid(smoke, out != nullptr ? out : "BENCH_service.json");
+}

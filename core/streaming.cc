@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/fast_merging.h"
@@ -33,37 +34,66 @@ Status StreamingHistogramBuilder::Add(int64_t sample) {
 
 Status StreamingHistogramBuilder::AddMany(
     const std::vector<int64_t>& samples) {
-  for (int64_t sample : samples) {
-    if (Status s = Add(sample); !s.ok()) return s;
+  size_t i = 0;
+  while (i < samples.size()) {
+    const size_t space = buffer_capacity_ - buffer_.size();
+    const size_t take = std::min(space, samples.size() - i);
+    // Validate the chunk first, then append it in one bulk insert.  On an
+    // out-of-domain sample the valid prefix is still appended — exactly the
+    // state an Add loop would have left behind when it hit the bad sample.
+    size_t valid = 0;
+    while (valid < take) {
+      const int64_t sample = samples[i + valid];
+      if (sample < 0 || sample >= domain_size_) break;
+      ++valid;
+    }
+    buffer_.insert(buffer_.end(), samples.begin() + static_cast<ptrdiff_t>(i),
+                   samples.begin() + static_cast<ptrdiff_t>(i + valid));
+    if (valid < take) {
+      return Status::Invalid("StreamingHistogramBuilder: sample out of domain");
+    }
+    i += take;
+    if (buffer_.size() >= buffer_capacity_) {
+      if (Status s = Flush(); !s.ok()) return s;
+    }
   }
   return Status::Ok();
 }
 
-Status StreamingHistogramBuilder::Flush() {
-  if (buffer_.empty()) return Status::Ok();
-
-  auto empirical = EmpiricalDistribution(domain_size_, buffer_);
+StatusOr<Histogram> StreamingHistogramBuilder::FoldedSummary(
+    const std::vector<int64_t>& buffer) const {
+  auto empirical = EmpiricalDistribution(domain_size_, buffer);
   if (!empirical.ok()) return empirical.status();
   auto batch = ConstructHistogramFast(*empirical, k_, options_);
   if (!batch.ok()) return batch.status();
+  if (summarized_count_ == 0) return std::move(batch->histogram);
+  return MergeHistograms(summary_, static_cast<double>(summarized_count_),
+                         batch->histogram,
+                         static_cast<double>(buffer.size()), k_, options_);
+}
 
-  const int64_t batch_count = static_cast<int64_t>(buffer_.size());
-  if (summarized_count_ == 0) {
-    summary_ = std::move(batch->histogram);
-  } else {
-    auto merged = MergeHistograms(
-        summary_, static_cast<double>(summarized_count_), batch->histogram,
-        static_cast<double>(batch_count), k_, options_);
-    if (!merged.ok()) return merged.status();
-    summary_ = std::move(merged).value();
-  }
-  summarized_count_ += batch_count;
+Status StreamingHistogramBuilder::Flush() {
+  if (buffer_.empty()) return Status::Ok();
+  auto folded = FoldedSummary(buffer_);
+  if (!folded.ok()) return folded.status();
+  summary_ = std::move(folded).value();
+  summarized_count_ += static_cast<int64_t>(buffer_.size());
   buffer_.clear();
   return Status::Ok();
 }
 
 StatusOr<Histogram> StreamingHistogramBuilder::Snapshot() {
   if (Status s = Flush(); !s.ok()) return s;
+  if (summarized_count_ == 0) {
+    return Histogram::Create(
+        domain_size_,
+        {{{0, domain_size_}, 1.0 / static_cast<double>(domain_size_)}});
+  }
+  return summary_;
+}
+
+StatusOr<Histogram> StreamingHistogramBuilder::Peek() const {
+  if (!buffer_.empty()) return FoldedSummary(buffer_);
   if (summarized_count_ == 0) {
     return Histogram::Create(
         domain_size_,

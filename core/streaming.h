@@ -27,12 +27,29 @@ class StreamingHistogramBuilder {
 
   // Samples must lie in [0, domain_size).
   Status Add(int64_t sample);
+
+  // Bulk ingest: appends whole chunks into the buffer (one memcpy-sized
+  // insert per chunk instead of a push_back per sample) and condenses once
+  // per full buffer.  The flush boundaries are the same as the Add loop's,
+  // so the resulting summary — and the builder state, including after a
+  // mid-batch out-of-domain error — is bit-identical to calling Add per
+  // sample.
   Status AddMany(const std::vector<int64_t>& samples);
 
   // Flushes the buffer and returns the current summary as a (mass ~1)
   // histogram over the domain.  With no samples ingested yet, returns the
   // uniform distribution.  The builder remains usable afterwards.
   StatusOr<Histogram> Snapshot();
+
+  // Const snapshot: condenses a copy of the buffered samples and folds it
+  // into the running summary without mutating any builder state, so a
+  // reader can export the current summary without forcing a flush (the
+  // ROADMAP "snapshot-without-flush" item; ShardIngestor::ExportSnapshot
+  // is the serving caller).  The returned histogram is bit-identical to
+  // what Snapshot() would return at this point.  Peek never mutates, but
+  // it is not synchronized — callers must serialize it against concurrent
+  // writers (Add/AddMany/Snapshot).
+  StatusOr<Histogram> Peek() const;
 
   int64_t num_samples() const {
     return summarized_count_ + static_cast<int64_t>(buffer_.size());
@@ -45,9 +62,17 @@ class StreamingHistogramBuilder {
       : domain_size_(domain_size),
         k_(k),
         buffer_capacity_(buffer_capacity),
-        options_(options) {}
+        options_(options) {
+    buffer_.reserve(buffer_capacity_);
+  }
 
   Status Flush();
+
+  // The summary that results from folding `buffer` (non-empty) into the
+  // current (summary_, summarized_count_) state, with no mutation.  Flush
+  // commits the result; Peek returns and discards it — sharing the exact
+  // computation is what keeps Peek() == Snapshot() bit-identical.
+  StatusOr<Histogram> FoldedSummary(const std::vector<int64_t>& buffer) const;
 
   int64_t domain_size_;
   int64_t k_;

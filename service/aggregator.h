@@ -1,0 +1,73 @@
+#ifndef FASTHIST_SERVICE_AGGREGATOR_H_
+#define FASTHIST_SERVICE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// The serving surface of the service layer: wraps an aggregate summary
+// (typically MergeTreeResult::aggregate) and answers the distribution
+// queries a frontend would actually issue — CDF, quantile, range mass —
+// in O(log pieces) each, from precomputed prefix masses.
+//
+// Error bars: a histogram summary is exact at piece granularity only.
+// RangeMassQuery therefore reports, alongside the point estimate, a bound
+// made of (a) the mass the summary cannot attribute within the boundary
+// pieces a query cuts through, and (b) the caller-provided `error_budget`
+// (e.g. the merge tree's accumulated condensation error, see
+// MergeTreeResult::error_levels).  Piece-aligned queries pay only (b).
+class Aggregator {
+ public:
+  // `summary` must be non-empty with finite, non-negative piece values and
+  // positive total mass (the shape of any distribution summary; rejecting
+  // everything else keeps the prefix masses monotone, which the query
+  // binary searches rely on).  Queries normalize by the total, so any
+  // positively-scaled summary works.  `error_budget` (>= 0) is an additive
+  // mass-error term echoed into every error bar.
+  static StatusOr<Aggregator> Create(Histogram summary,
+                                     double error_budget = 0.0);
+
+  const Histogram& histogram() const { return summary_; }
+  double error_budget() const { return error_budget_; }
+
+  // P[X <= x] under the normalized summary; 0 below the domain, 1 at and
+  // above the top.  Non-decreasing in x.
+  double Cdf(int64_t x) const;
+
+  // Smallest x with Cdf(x) >= q (q clamped to [0, 1]).  Inverse of Cdf up
+  // to piece resolution: Quantile(Cdf(x)) lands in x's piece.
+  int64_t Quantile(double q) const;
+
+  struct RangeMass {
+    double mass = 0.0;         // summary mass of [begin, end), normalized
+    double error_bound = 0.0;  // boundary-piece slack + error_budget
+  };
+  // Mass of the half-open range [begin, end) (clamped to the domain).
+  RangeMass RangeMassQuery(int64_t begin, int64_t end) const;
+
+ private:
+  Aggregator(Histogram summary, double error_budget,
+             std::vector<double> prefix_mass)
+      : summary_(std::move(summary)),
+        error_budget_(error_budget),
+        prefix_mass_(std::move(prefix_mass)),
+        total_mass_(prefix_mass_.back()) {}
+
+  // Index of the piece containing x (x must be inside the domain).
+  size_t PieceIndexOf(int64_t x) const;
+  // Summary mass of [0, x), un-normalized; x clamped to [0, domain].
+  double MassBelow(int64_t x) const;
+
+  Histogram summary_;
+  double error_budget_;
+  std::vector<double> prefix_mass_;  // prefix_mass_[i] = mass of pieces < i
+  double total_mass_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_SERVICE_AGGREGATOR_H_

@@ -1,0 +1,145 @@
+#include "service/merge_tree.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace fasthist {
+
+StatusOr<MergeTreeResult> ReduceSummaries(std::vector<ShardSummary> summaries,
+                                          int64_t k,
+                                          const MergeTreeOptions& options) {
+  if (summaries.empty()) {
+    return Status::Invalid("ReduceSummaries: need at least one summary");
+  }
+  if (options.fan_in < 2) {
+    return Status::Invalid("ReduceSummaries: fan_in must be >= 2");
+  }
+  if (options.num_threads < 1) {
+    return Status::Invalid("ReduceSummaries: num_threads must be >= 1");
+  }
+  if (k < 1) {
+    return Status::Invalid("ReduceSummaries: k must be >= 1");
+  }
+  const int64_t domain_size = summaries.front().histogram.domain_size();
+  for (const ShardSummary& summary : summaries) {
+    if (summary.histogram.domain_size() != domain_size) {
+      return Status::Invalid("ReduceSummaries: summaries must share a domain");
+    }
+    if (!(summary.weight > 0.0)) {
+      return Status::Invalid("ReduceSummaries: weights must be positive");
+    }
+  }
+
+  ThreadPool* pool = options.num_threads > 1
+                         ? &ThreadPool::Shared(options.num_threads)
+                         : nullptr;
+  MergeTreeResult result;
+  std::vector<ShardSummary> current = std::move(summaries);
+  while (current.size() > 1) {
+    const size_t fan_in = static_cast<size_t>(options.fan_in);
+    const size_t num_groups = (current.size() + fan_in - 1) / fan_in;
+    std::vector<ShardSummary> next(num_groups);
+    std::vector<Status> group_status(num_groups);
+    // Each group folds serially left-to-right and writes only its own slot,
+    // so the partitioning of groups over threads cannot affect any value.
+    ParallelFor(pool, 0, static_cast<int64_t>(num_groups), 1,
+                [&](int64_t group_begin, int64_t group_end) {
+                  for (int64_t g = group_begin; g < group_end; ++g) {
+                    const size_t first = static_cast<size_t>(g) * fan_in;
+                    const size_t last =
+                        std::min(first + fan_in, current.size());
+                    ShardSummary acc = std::move(current[first]);
+                    for (size_t i = first + 1; i < last; ++i) {
+                      auto merged = MergeHistograms(
+                          acc.histogram, acc.weight, current[i].histogram,
+                          current[i].weight, k, options.merging);
+                      if (!merged.ok()) {
+                        group_status[static_cast<size_t>(g)] = merged.status();
+                        break;
+                      }
+                      acc.histogram = std::move(merged).value();
+                      acc.weight += current[i].weight;
+                    }
+                    next[static_cast<size_t>(g)] = std::move(acc);
+                  }
+                });
+    for (const Status& status : group_status) {
+      if (!status.ok()) return status;
+    }
+    result.num_merges +=
+        static_cast<int64_t>(current.size()) -
+        static_cast<int64_t>(num_groups);
+    current = std::move(next);
+    ++result.depth;
+  }
+
+  result.aggregate = std::move(current.front().histogram);
+  result.total_weight = current.front().weight;
+  result.error_levels = result.depth + 1;
+  return result;
+}
+
+StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
+                                          int64_t k,
+                                          const MergeTreeOptions& options) {
+  if (snapshots.empty()) {
+    return Status::Invalid("ReduceSnapshots: need at least one snapshot");
+  }
+  // Validate the configuration up front so degenerate inputs (e.g. all
+  // shards empty) still reject a bad fan_in instead of short-circuiting.
+  if (options.fan_in < 2) {
+    return Status::Invalid("ReduceSnapshots: fan_in must be >= 2");
+  }
+  if (options.num_threads < 1) {
+    return Status::Invalid("ReduceSnapshots: num_threads must be >= 1");
+  }
+  if (k < 1) {
+    return Status::Invalid("ReduceSnapshots: k must be >= 1");
+  }
+  // Canonical leaf order: the reduction must not depend on which shard's
+  // snapshot happened to arrive first.  num_samples and the raw bytes break
+  // ties so even duplicate shard ids reduce deterministically.
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const ShardSnapshot& a, const ShardSnapshot& b) {
+              return std::tie(a.shard_id, a.num_samples, a.encoded_histogram) <
+                     std::tie(b.shard_id, b.num_samples, b.encoded_histogram);
+            });
+
+  std::vector<ShardSummary> summaries;
+  summaries.reserve(snapshots.size());
+  Histogram first_decoded;
+  for (const ShardSnapshot& snapshot : snapshots) {
+    if (snapshot.num_samples < 0) {
+      return Status::Invalid("ReduceSnapshots: negative sample count");
+    }
+    auto histogram = DecodeHistogram(snapshot.encoded_histogram);
+    if (!histogram.ok()) return histogram.status();
+    if (snapshot.num_samples == 0) {  // no mass to contribute
+      // Keep the first empty shard's summary (in canonical order) for the
+      // all-empty fallback below.
+      if (first_decoded.num_pieces() == 0) {
+        first_decoded = std::move(histogram).value();
+      }
+      continue;
+    }
+    summaries.push_back(ShardSummary{std::move(histogram).value(),
+                                     static_cast<double>(snapshot.num_samples)});
+  }
+  if (summaries.empty()) {
+    // Every shard was empty: the aggregate is the shards' common empty-state
+    // summary (the uniform distribution) with no weight behind it.
+    MergeTreeResult result;
+    result.aggregate = std::move(first_decoded);
+    result.total_weight = 0.0;
+    result.depth = 0;
+    result.num_merges = 0;
+    result.error_levels = 1;
+    return result;
+  }
+  return ReduceSummaries(std::move(summaries), k, options);
+}
+
+}  // namespace fasthist

@@ -1,0 +1,87 @@
+#ifndef FASTHIST_SERVICE_MERGE_TREE_H_
+#define FASTHIST_SERVICE_MERGE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merging.h"
+#include "dist/histogram.h"
+#include "service/wire_format.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// The reduction layer of the service: folds N per-shard summaries into one
+// aggregate with weighted MergeHistograms (Lemma 4.2 — the merge is
+// weighted and associative up to re-approximation, which is exactly what
+// lets shards be reduced in a tree instead of a chain).
+//
+// Determinism is the load-bearing contract.  The tree shape is a pure
+// function of (N, fan_in): level by level, consecutive groups of `fan_in`
+// summaries fold serially left-to-right into one node, until one summary
+// remains.  Groups at a level are independent, so they run on
+// util/parallel.h's statically-partitioned pool — and because the merge
+// engine itself is thread-invariant, the aggregate is bit-identical at any
+// `num_threads`.  ReduceSnapshots additionally canonicalizes input order
+// (by shard id), so the aggregate is bit-identical regardless of the order
+// snapshots arrived in.  Different `fan_in` values produce different (all
+// valid) tree shapes and therefore different — but equally accurate, see
+// `error_levels` — aggregates.
+
+// A decoded shard summary: the histogram plus its merge weight (the
+// number of samples it condenses).
+struct ShardSummary {
+  Histogram histogram;
+  double weight = 0.0;
+};
+
+struct MergeTreeOptions {
+  // Children folded into each internal node; >= 2.  Larger fan-in means a
+  // shallower tree (fewer lossy condensations, see error_levels) but less
+  // available parallelism per level.
+  int fan_in = 2;
+  // Tree-level parallelism: independent groups of one level reduce
+  // concurrently on the shared pool.  Output is bit-identical at any value.
+  int num_threads = 1;
+  // Knobs (delta/gamma/num_threads) for every internal MergeHistograms.
+  MergingOptions merging;
+};
+
+struct MergeTreeResult {
+  Histogram aggregate;
+  double total_weight = 0.0;
+  // Number of reduction levels the tree ran (= ceil(log_fan_in(N)) for N
+  // non-empty shards; 0 when a single summary passes through untouched).
+  int depth = 0;
+  // Total pairwise MergeHistograms calls across all levels.
+  int64_t num_merges = 0;
+  // Additive error accounting (Lemma 4.2): the L2 error of `aggregate`
+  // against the pooled empirical distribution is bounded by the weighted
+  // mean of the per-shard summary errors plus one k-piece condensation
+  // error per tree level — `error_levels = depth + 1` additive terms in
+  // total (the +1 is the per-shard condense at ingest).  Deeper trees
+  // spend more of the error budget; this field is the number a caller
+  // multiplies its per-condense bound by.
+  int error_levels = 0;
+};
+
+// Reduces `summaries` (all sharing one domain, all with positive weight)
+// to a single aggregate.  The input order is the tree's leaf order;
+// callers who need arrival-order invariance should go through
+// ReduceSnapshots, which canonicalizes it.
+StatusOr<MergeTreeResult> ReduceSummaries(
+    std::vector<ShardSummary> summaries, int64_t k,
+    const MergeTreeOptions& options = MergeTreeOptions());
+
+// Decodes wire snapshots and reduces them.  Snapshots are first sorted by
+// (shard_id, num_samples, bytes) — a canonical leaf order, so the result
+// is bit-identical regardless of arrival order.  Shards with zero samples
+// carry no mass and are dropped; if every shard is empty the aggregate is
+// the (uniform) decoded summary with total_weight 0.
+StatusOr<MergeTreeResult> ReduceSnapshots(
+    std::vector<ShardSnapshot> snapshots, int64_t k,
+    const MergeTreeOptions& options = MergeTreeOptions());
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_SERVICE_MERGE_TREE_H_

@@ -1,0 +1,124 @@
+// End-to-end demo of the service layer: shard a synthetic stream over M
+// ShardIngestors, export wire-encoded snapshots, reduce them in a
+// deterministic merge tree, and answer quantile queries against the pooled
+// ground truth.
+//
+//   service_demo [--shards=M] [--samples=PER_SHARD] [--fan-in=F]
+//
+// Exits non-zero on any service-layer error, so CI can use it as a smoke
+// test of the whole shard -> merge-tree -> query dataflow.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "service/aggregator.h"
+#include "service/merge_tree.h"
+#include "service/shard.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace fasthist {
+namespace {
+
+constexpr int64_t kDomain = 2000;
+constexpr int64_t kK = 12;
+constexpr size_t kBufferCapacity = 2048;
+
+int64_t ParseInt(const char* text, int64_t fallback) {
+  if (text == nullptr) return fallback;
+  const int64_t value = std::atoll(text);
+  return value > 0 ? value : fallback;
+}
+
+int Run(int argc, char** argv) {
+  const int64_t num_shards =
+      ParseInt(bench_util::FlagValue(argc, argv, "--shards="), 8);
+  const int64_t samples_per_shard =
+      ParseInt(bench_util::FlagValue(argc, argv, "--samples="), 50000);
+  const int fan_in = static_cast<int>(
+      ParseInt(bench_util::FlagValue(argc, argv, "--fan-in="), 4));
+
+  auto p = NormalizeToDistribution(MakeHistDataset({kDomain, 19980607, 10,
+                                                    20.0, 100.0, 1.0}));
+  if (!p.ok()) {
+    std::fprintf(stderr, "%s\n", p.status().message().c_str());
+    return 1;
+  }
+  auto sampler = AliasSampler::Create(*p);
+  if (!sampler.ok()) return 1;
+
+  std::printf("service_demo: %" PRId64 " shards x %" PRId64
+              " samples on [%" PRId64 "], k=%" PRId64 ", fan-in %d\n\n",
+              num_shards, samples_per_shard, kDomain, kK, fan_in);
+
+  // Ingest: one independent ShardIngestor per shard of the stream.
+  std::vector<ShardSnapshot> snapshots;
+  std::vector<int64_t> pooled;
+  pooled.reserve(static_cast<size_t>(num_shards * samples_per_shard));
+  size_t encoded_bytes = 0;
+  for (int64_t shard = 0; shard < num_shards; ++shard) {
+    auto ingestor = ShardIngestor::Create(static_cast<uint64_t>(shard),
+                                          kDomain, kK, kBufferCapacity);
+    if (!ingestor.ok()) return 1;
+    Rng rng(0x5eed0000 + static_cast<uint64_t>(shard));
+    const std::vector<int64_t> samples =
+        sampler->SampleMany(static_cast<size_t>(samples_per_shard), &rng);
+    if (!ingestor->Ingest(samples).ok()) return 1;
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+    auto snapshot = ingestor->ExportSnapshot();
+    if (!snapshot.ok()) return 1;
+    encoded_bytes += snapshot->encoded_histogram.size();
+    snapshots.push_back(std::move(snapshot).value());
+  }
+  std::printf("ingested %zu samples; %zu snapshot bytes total (%.1f per "
+              "shard)\n",
+              pooled.size(), encoded_bytes,
+              static_cast<double>(encoded_bytes) /
+                  static_cast<double>(num_shards));
+
+  // Reduce: deterministic fan-in tree over the snapshots.
+  MergeTreeOptions tree_options;
+  tree_options.fan_in = fan_in;
+  auto reduced = ReduceSnapshots(snapshots, kK, tree_options);
+  if (!reduced.ok()) {
+    std::fprintf(stderr, "reduce: %s\n", reduced.status().message().c_str());
+    return 1;
+  }
+  std::printf("reduced in a depth-%d tree (%" PRId64
+              " merges, %d error levels): %" PRId64
+              " pieces, weight %.0f\n\n",
+              reduced->depth, reduced->num_merges, reduced->error_levels,
+              reduced->aggregate.num_pieces(), reduced->total_weight);
+
+  // Query: quantiles from the aggregate vs the exact pooled-sample answer.
+  auto aggregator = Aggregator::Create(reduced->aggregate);
+  if (!aggregator.ok()) return 1;
+  std::sort(pooled.begin(), pooled.end());
+  TablePrinter table({"q", "served", "exact", "|diff|"});
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const int64_t served = aggregator->Quantile(q);
+    const size_t rank = std::min(
+        pooled.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(pooled.size())));
+    const int64_t exact = pooled[rank];
+    table.AddRow({TablePrinter::FormatDouble(q, 2),
+                  TablePrinter::FormatInt(served),
+                  TablePrinter::FormatInt(exact),
+                  TablePrinter::FormatInt(std::abs(served - exact))});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fasthist
+
+int main(int argc, char** argv) { return fasthist::Run(argc, argv); }

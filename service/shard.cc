@@ -1,0 +1,31 @@
+#include "service/shard.h"
+
+#include <utility>
+
+namespace fasthist {
+
+StatusOr<ShardIngestor> ShardIngestor::Create(uint64_t shard_id,
+                                              int64_t domain_size, int64_t k,
+                                              size_t buffer_capacity,
+                                              const MergingOptions& options) {
+  auto builder = StreamingHistogramBuilder::Create(domain_size, k,
+                                                   buffer_capacity, options);
+  if (!builder.ok()) return builder.status();
+  return ShardIngestor(shard_id, domain_size, std::move(builder).value());
+}
+
+Status ShardIngestor::Ingest(const std::vector<int64_t>& samples) {
+  return builder_.AddMany(samples);
+}
+
+StatusOr<ShardSnapshot> ShardIngestor::ExportSnapshot() const {
+  auto summary = builder_.Peek();
+  if (!summary.ok()) return summary.status();
+  ShardSnapshot snapshot;
+  snapshot.shard_id = shard_id_;
+  snapshot.num_samples = builder_.num_samples();
+  snapshot.encoded_histogram = EncodeHistogram(*summary);
+  return snapshot;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,236 @@
+#include "service/wire_format.h"
+
+#include <cstring>
+#include <utility>
+
+namespace fasthist {
+namespace {
+
+// "FHh1" / "FHs1" as they appear on the wire (little-endian u32).
+constexpr uint32_t kHistogramMagic = 0x31684846;
+constexpr uint32_t kSnapshotMagic = 0x31734846;
+constexpr uint32_t kWireVersion = 1;
+constexpr size_t kBytesPerPiece = 16;  // one int64 end + one double value
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void AppendI64(std::vector<uint8_t>* out, int64_t value) {
+  AppendU64(out, static_cast<uint64_t>(value));
+}
+
+void AppendDouble(std::vector<uint8_t>* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+// Cursor over an untrusted buffer: every read is bounds-checked, so a
+// truncated or hostile input can only produce a `false` return, never an
+// out-of-bounds access.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU32(uint32_t* out) {
+    if (remaining() < 4) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (remaining() < 8) return false;
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *out = value;
+    return true;
+  }
+
+  bool ReadI64(int64_t* out) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    *out = static_cast<int64_t>(bits);
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool ReadBytes(size_t count, std::vector<uint8_t>* out) {
+    if (remaining() < count) return false;
+    out->assign(data_ + pos_, data_ + pos_ + count);
+    pos_ += count;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHistogram(const Histogram& histogram) {
+  const size_t num_pieces = histogram.pieces().size();
+  std::vector<uint8_t> out;
+  out.reserve(24 + kBytesPerPiece * num_pieces);
+  AppendU32(&out, kHistogramMagic);
+  AppendU32(&out, kWireVersion);
+  AppendI64(&out, histogram.domain_size());
+  AppendI64(&out, static_cast<int64_t>(num_pieces));
+  for (const HistogramPiece& piece : histogram.pieces()) {
+    AppendI64(&out, piece.interval.end);
+  }
+  for (const HistogramPiece& piece : histogram.pieces()) {
+    AppendDouble(&out, piece.value);
+  }
+  return out;
+}
+
+StatusOr<Histogram> DecodeHistogram(const uint8_t* data, size_t size) {
+  if (data == nullptr && size > 0) {
+    return Status::Invalid("DecodeHistogram: null buffer");
+  }
+  WireReader reader(data, size);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int64_t domain_size = 0;
+  int64_t num_pieces = 0;
+  if (!reader.ReadU32(&magic)) {
+    return Status::Invalid("DecodeHistogram: truncated header");
+  }
+  if (magic != kHistogramMagic) {
+    return Status::Invalid("DecodeHistogram: bad magic");
+  }
+  if (!reader.ReadU32(&version)) {
+    return Status::Invalid("DecodeHistogram: truncated header");
+  }
+  if (version != kWireVersion) {
+    return Status::Invalid("DecodeHistogram: unsupported version");
+  }
+  if (!reader.ReadI64(&domain_size) || !reader.ReadI64(&num_pieces)) {
+    return Status::Invalid("DecodeHistogram: truncated header");
+  }
+  if (domain_size <= 0) {
+    return Status::Invalid("DecodeHistogram: domain_size must be positive");
+  }
+  if (num_pieces <= 0 || num_pieces > domain_size) {
+    return Status::Invalid("DecodeHistogram: piece count out of range");
+  }
+  // Overflow-safe payload sizing: compare the count against the bytes that
+  // are actually present before ever multiplying it.
+  if (static_cast<uint64_t>(num_pieces) > reader.remaining() / kBytesPerPiece) {
+    return Status::Invalid("DecodeHistogram: truncated piece planes");
+  }
+  if (reader.remaining() !=
+      static_cast<size_t>(num_pieces) * kBytesPerPiece) {
+    return Status::Invalid("DecodeHistogram: trailing bytes");
+  }
+
+  std::vector<HistogramPiece> pieces(static_cast<size_t>(num_pieces));
+  int64_t begin = 0;
+  for (HistogramPiece& piece : pieces) {
+    int64_t end = 0;
+    if (!reader.ReadI64(&end)) {
+      return Status::Invalid("DecodeHistogram: truncated piece planes");
+    }
+    if (end <= begin || end > domain_size) {
+      return Status::Invalid("DecodeHistogram: piece ends must be increasing");
+    }
+    piece.interval = {begin, end};
+    begin = end;
+  }
+  if (begin != domain_size) {
+    return Status::Invalid("DecodeHistogram: pieces must cover the domain");
+  }
+  for (HistogramPiece& piece : pieces) {
+    if (!reader.ReadDouble(&piece.value)) {
+      return Status::Invalid("DecodeHistogram: truncated piece planes");
+    }
+  }
+  return Histogram::Create(domain_size, std::move(pieces));
+}
+
+std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  out.reserve(32 + snapshot.encoded_histogram.size());
+  AppendU32(&out, kSnapshotMagic);
+  AppendU32(&out, kWireVersion);
+  AppendU64(&out, snapshot.shard_id);
+  AppendI64(&out, snapshot.num_samples);
+  AppendU64(&out, static_cast<uint64_t>(snapshot.encoded_histogram.size()));
+  out.insert(out.end(), snapshot.encoded_histogram.begin(),
+             snapshot.encoded_histogram.end());
+  return out;
+}
+
+StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size) {
+  if (data == nullptr && size > 0) {
+    return Status::Invalid("DecodeShardSnapshot: null buffer");
+  }
+  WireReader reader(data, size);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  ShardSnapshot snapshot;
+  uint64_t blob_size = 0;
+  if (!reader.ReadU32(&magic)) {
+    return Status::Invalid("DecodeShardSnapshot: truncated header");
+  }
+  if (magic != kSnapshotMagic) {
+    return Status::Invalid("DecodeShardSnapshot: bad magic");
+  }
+  if (!reader.ReadU32(&version)) {
+    return Status::Invalid("DecodeShardSnapshot: truncated header");
+  }
+  if (version != kWireVersion) {
+    return Status::Invalid("DecodeShardSnapshot: unsupported version");
+  }
+  if (!reader.ReadU64(&snapshot.shard_id) ||
+      !reader.ReadI64(&snapshot.num_samples) || !reader.ReadU64(&blob_size)) {
+    return Status::Invalid("DecodeShardSnapshot: truncated header");
+  }
+  if (snapshot.num_samples < 0) {
+    return Status::Invalid("DecodeShardSnapshot: negative sample count");
+  }
+  if (blob_size != reader.remaining()) {
+    return Status::Invalid("DecodeShardSnapshot: blob size mismatch");
+  }
+  if (!reader.ReadBytes(static_cast<size_t>(blob_size),
+                        &snapshot.encoded_histogram)) {
+    return Status::Invalid("DecodeShardSnapshot: truncated blob");
+  }
+  // The embedded histogram must itself decode — an envelope around garbage
+  // is corrupt, and catching it here keeps the reduction layer's error
+  // handling trivial.
+  if (auto histogram = DecodeHistogram(snapshot.encoded_histogram);
+      !histogram.ok()) {
+    return histogram.status();
+  }
+  return snapshot;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,69 @@
+#ifndef FASTHIST_SERVICE_WIRE_FORMAT_H_
+#define FASTHIST_SERVICE_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// Versioned little-endian binary codec for Histogram, plus the shard
+// snapshot envelope the reduction layer consumes.  This is the service
+// layer's interchange format: every byte layout is explicit (no struct
+// dumping), so encodings are identical across platforms and compilers.
+//
+// Encoded histogram layout (version 1):
+//
+//   | offset | size | field                                               |
+//   |--------|------|-----------------------------------------------------|
+//   | 0      | 4    | magic "FHh1"                                        |
+//   | 4      | 4    | version (= 1)                                       |
+//   | 8      | 8    | domain_size (int64, > 0)                            |
+//   | 16     | 8    | num_pieces P (int64, 1 <= P <= domain_size)         |
+//   | 24     | 8*P  | piece end offsets (int64, strictly increasing,      |
+//   |        |      | last == domain_size; piece i begins at end[i-1],    |
+//   |        |      | piece 0 at 0, so contiguity is structural)          |
+//   | 24+8P  | 8*P  | piece values (IEEE-754 double bits)                 |
+//
+// Encoding is total: every valid Histogram encodes.  Decoding is
+// bounds-checked end to end and reports corruption — truncation, bad
+// magic/version, piece-count overflow, non-monotone ends, trailing bytes —
+// as a non-OK Status, never UB or a crash.  Round-trips are exact:
+// DecodeHistogram(EncodeHistogram(h)) reproduces the intervals and the
+// value bits identically.
+
+std::vector<uint8_t> EncodeHistogram(const Histogram& histogram);
+
+StatusOr<Histogram> DecodeHistogram(const uint8_t* data, size_t size);
+inline StatusOr<Histogram> DecodeHistogram(const std::vector<uint8_t>& bytes) {
+  return DecodeHistogram(bytes.data(), bytes.size());
+}
+
+// One shard's exported summary: identity, merge weight, and the encoded
+// histogram.  This is what travels from a ShardIngestor to the merge tree
+// (service/merge_tree.h); `encoded_histogram` stays opaque bytes until the
+// reducer decodes it, so snapshots can be shipped, stored, or replayed
+// without the receiver trusting the sender's memory layout.
+struct ShardSnapshot {
+  uint64_t shard_id = 0;
+  int64_t num_samples = 0;  // merge weight of this summary
+  std::vector<uint8_t> encoded_histogram;
+};
+
+// Envelope layout (version 1): magic "FHs1", version, shard_id (u64),
+// num_samples (int64, >= 0), histogram blob size (u64), blob.  Decoding
+// validates the envelope and the embedded histogram.
+std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot);
+
+StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size);
+inline StatusOr<ShardSnapshot> DecodeShardSnapshot(
+    const std::vector<uint8_t>& bytes) {
+  return DecodeShardSnapshot(bytes.data(), bytes.size());
+}
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_SERVICE_WIRE_FORMAT_H_

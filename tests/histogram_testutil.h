@@ -1,0 +1,34 @@
+#ifndef FASTHIST_TESTS_HISTOGRAM_TESTUTIL_H_
+#define FASTHIST_TESTS_HISTOGRAM_TESTUTIL_H_
+
+#include <cstring>
+
+#include "dist/histogram.h"
+
+namespace fasthist {
+namespace testing {
+
+// Bit-level histogram equality: intervals equal and value *bits* equal (so
+// -0.0 vs 0.0 or any rounding difference fails).  This is the comparison
+// behind every bit-identical determinism contract in the suite — Peek ==
+// Snapshot, AddMany == Add loop, merge-tree arrival/thread invariance, wire
+// round trips — so all of them share this one definition.
+inline bool BitIdentical(const Histogram& a, const Histogram& b) {
+  if (a.domain_size() != b.domain_size()) return false;
+  if (a.num_pieces() != b.num_pieces()) return false;
+  for (int64_t i = 0; i < a.num_pieces(); ++i) {
+    const HistogramPiece& pa = a.pieces()[static_cast<size_t>(i)];
+    const HistogramPiece& pb = b.pieces()[static_cast<size_t>(i)];
+    if (pa.interval.begin != pb.interval.begin ||
+        pa.interval.end != pb.interval.end) {
+      return false;
+    }
+    if (std::memcmp(&pa.value, &pb.value, sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace fasthist
+
+#endif  // FASTHIST_TESTS_HISTOGRAM_TESTUTIL_H_

@@ -1,0 +1,466 @@
+// The service layer end to end: wire-format round trips and corruption
+// handling, shard snapshot export without flushes, the merge tree's
+// determinism/accounting contracts, and the query API.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/fast_merging.h"
+#include "data/generators.h"
+#include "dist/alias_sampler.h"
+#include "dist/empirical.h"
+#include "service/aggregator.h"
+#include "service/merge_tree.h"
+#include "service/shard.h"
+#include "service/wire_format.h"
+#include "tests/fasthist_test.h"
+#include "tests/histogram_testutil.h"
+#include "util/random.h"
+
+namespace fasthist {
+namespace {
+
+using ::fasthist::testing::BitIdentical;
+
+Histogram RandomHistogram(Rng* rng) {
+  const int64_t domain = 1 + rng->UniformInt(5000);
+  const int64_t max_pieces = std::min<int64_t>(domain, 64);
+  const int64_t num_pieces = 1 + rng->UniformInt(max_pieces);
+  // num_pieces - 1 distinct interior cut points.
+  std::vector<int64_t> ends;
+  while (static_cast<int64_t>(ends.size()) < num_pieces - 1) {
+    const int64_t cut = 1 + rng->UniformInt(domain - 1 > 0 ? domain - 1 : 1);
+    if (cut < domain &&
+        std::find(ends.begin(), ends.end(), cut) == ends.end()) {
+      ends.push_back(cut);
+    }
+  }
+  std::sort(ends.begin(), ends.end());
+  ends.push_back(domain);
+  std::vector<HistogramPiece> pieces;
+  int64_t begin = 0;
+  for (const int64_t end : ends) {
+    // A mix of awkward values: exact dyadics, tiny magnitudes, negatives.
+    double value = rng->Gaussian() * 1e-3;
+    if (rng->UniformInt(8) == 0) value = 0.0;
+    if (rng->UniformInt(8) == 0) value = 0.125 * rng->UniformInt(32);
+    pieces.push_back({{begin, end}, value});
+    begin = end;
+  }
+  return Histogram::Create(domain, std::move(pieces)).value();
+}
+
+TEST(WireFormatRoundTripsRandomHistograms) {
+  Rng rng(20260730);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Histogram original = RandomHistogram(&rng);
+    const std::vector<uint8_t> encoded = EncodeHistogram(original);
+    CHECK(encoded.size() ==
+          24 + 16 * static_cast<size_t>(original.num_pieces()));
+    auto decoded = DecodeHistogram(encoded);
+    CHECK_OK(decoded);
+    CHECK(BitIdentical(original, *decoded));
+  }
+  // And summaries the library actually produces (merging outputs).
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t domain = 500 + rng.UniformInt(2000);
+    std::vector<int64_t> samples;
+    for (int i = 0; i < 3000; ++i) samples.push_back(rng.UniformInt(domain));
+    auto empirical = EmpiricalDistribution(domain, samples);
+    CHECK_OK(empirical);
+    auto result = ConstructHistogramFast(*empirical, 1 + rng.UniformInt(20));
+    CHECK_OK(result);
+    auto decoded = DecodeHistogram(EncodeHistogram(result->histogram));
+    CHECK_OK(decoded);
+    CHECK(BitIdentical(result->histogram, *decoded));
+  }
+}
+
+TEST(WireFormatRejectsCorruptInput) {
+  Rng rng(77);
+  const Histogram original = RandomHistogram(&rng);
+  const std::vector<uint8_t> valid = EncodeHistogram(original);
+  CHECK_OK(DecodeHistogram(valid));
+
+  // Every proper prefix is a truncation and must fail cleanly.
+  for (size_t len = 0; len < valid.size(); ++len) {
+    CHECK(!DecodeHistogram(valid.data(), len).ok());
+  }
+  // Trailing garbage.
+  {
+    std::vector<uint8_t> padded = valid;
+    padded.push_back(0);
+    CHECK(!DecodeHistogram(padded).ok());
+  }
+  // Bad magic / bad version.
+  {
+    std::vector<uint8_t> corrupt = valid;
+    corrupt[0] ^= 0xff;
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = valid;
+    corrupt[4] = 0xfe;
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  // Piece-count overflow: a count far past the buffer (and past any sane
+  // multiply) must be rejected by the overflow-safe size check.
+  {
+    std::vector<uint8_t> corrupt = valid;
+    for (int i = 0; i < 8; ++i) corrupt[16 + i] = 0xff;
+    corrupt[23] = 0x7f;  // num_pieces = int64 max
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  // Zero pieces.
+  {
+    std::vector<uint8_t> corrupt = valid;
+    for (int i = 0; i < 8; ++i) corrupt[16 + i] = 0;
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  // Non-monotone ends (only meaningful with >= 2 pieces).
+  if (original.num_pieces() >= 2) {
+    std::vector<uint8_t> corrupt = valid;
+    for (int i = 0; i < 8; ++i) corrupt[24 + i] = 0;  // first end = 0
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  // First end past the domain.
+  {
+    std::vector<uint8_t> corrupt = valid;
+    for (int i = 0; i < 8; ++i) corrupt[24 + i] = 0xff;
+    corrupt[31] = 0x7f;
+    CHECK(!DecodeHistogram(corrupt).ok());
+  }
+  // Empty and null inputs.
+  CHECK(!DecodeHistogram(nullptr, 0).ok());
+  CHECK(!DecodeHistogram(std::vector<uint8_t>{}).ok());
+}
+
+TEST(SnapshotEnvelopeRoundTripsAndRejectsCorrupt) {
+  Rng rng(123);
+  const Histogram histogram = RandomHistogram(&rng);
+  ShardSnapshot snapshot;
+  snapshot.shard_id = 0xabcdef0123456789ull;
+  snapshot.num_samples = 424242;
+  snapshot.encoded_histogram = EncodeHistogram(histogram);
+
+  const std::vector<uint8_t> encoded = EncodeShardSnapshot(snapshot);
+  auto decoded = DecodeShardSnapshot(encoded);
+  CHECK_OK(decoded);
+  CHECK(decoded->shard_id == snapshot.shard_id);
+  CHECK(decoded->num_samples == snapshot.num_samples);
+  CHECK(decoded->encoded_histogram == snapshot.encoded_histogram);
+  auto inner = DecodeHistogram(decoded->encoded_histogram);
+  CHECK_OK(inner);
+  CHECK(BitIdentical(histogram, *inner));
+
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    CHECK(!DecodeShardSnapshot(encoded.data(), len).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[0] ^= 0xff;  // magic
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[24] ^= 0xff;  // blob size no longer matches
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+  {
+    // Valid envelope around a corrupted histogram blob.
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[32] ^= 0xff;  // embedded histogram magic
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+}
+
+TEST(ShardIngestorExportsWithoutFlushing) {
+  const int64_t domain = 1000;
+  auto p = NormalizeToDistribution(MakeHistDataset({domain, 7, 10, 20.0,
+                                                    100.0, 1.0}));
+  CHECK_OK(p);
+  auto sampler = AliasSampler::Create(*p);
+  CHECK_OK(sampler);
+  Rng rng(99);
+  // 1000 samples with a 256-sample buffer: three flushes + 232 buffered, so
+  // the export path exercises the peek-merge of a partial buffer.
+  const std::vector<int64_t> samples = sampler->SampleMany(1000, &rng);
+
+  auto ingestor = ShardIngestor::Create(17, domain, 8, 256);
+  CHECK_OK(ingestor);
+  CHECK_OK(ingestor->ExportSnapshot());  // empty export: uniform, 0 samples
+  CHECK(ingestor->ExportSnapshot()->num_samples == 0);
+  CHECK(ingestor->Ingest(samples).ok());
+
+  auto snapshot = ingestor->ExportSnapshot();
+  CHECK_OK(snapshot);
+  CHECK(snapshot->shard_id == 17);
+  CHECK(snapshot->num_samples == 1000);
+  // Export is read-only: the builder state (partial buffer included) is
+  // untouched, so a shadow builder fed the same stream and then snapshotted
+  // produces a bit-identical summary.
+  CHECK(ingestor->num_samples() == 1000);
+  auto shadow = StreamingHistogramBuilder::Create(domain, 8, 256);
+  CHECK_OK(shadow);
+  CHECK(shadow->AddMany(samples).ok());
+  auto shadow_summary = shadow->Snapshot();
+  CHECK_OK(shadow_summary);
+  auto exported = DecodeHistogram(snapshot->encoded_histogram);
+  CHECK_OK(exported);
+  CHECK(BitIdentical(*shadow_summary, *exported));
+  // And exporting twice is idempotent.
+  auto again = ingestor->ExportSnapshot();
+  CHECK_OK(again);
+  CHECK(again->encoded_histogram == snapshot->encoded_histogram);
+}
+
+// Builds N shard snapshots (a few deliberately empty) over one distribution.
+std::vector<ShardSnapshot> MakeSnapshots(int64_t num_shards, Rng* rng) {
+  const int64_t domain = 512;
+  auto p = NormalizeToDistribution(MakeHistDataset({domain, 5, 8, 20.0,
+                                                    100.0, 1.0}));
+  auto sampler = AliasSampler::Create(*p);
+  std::vector<ShardSnapshot> snapshots;
+  for (int64_t shard = 0; shard < num_shards; ++shard) {
+    auto ingestor = ShardIngestor::Create(static_cast<uint64_t>(shard),
+                                          domain, 8, 128);
+    if (rng->UniformInt(8) != 0) {  // ~1/8 of shards stay empty
+      const size_t count = 200 + static_cast<size_t>(rng->UniformInt(2000));
+      CHECK(ingestor->Ingest(sampler->SampleMany(count, rng)).ok());
+    }
+    snapshots.push_back(std::move(ingestor->ExportSnapshot()).value());
+  }
+  return snapshots;
+}
+
+TEST(MergeTreeBitIdenticalAcrossArrivalAndThreads) {
+  Rng rng(20150531);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t num_shards = 1 + rng.UniformInt(16);
+    std::vector<ShardSnapshot> snapshots = MakeSnapshots(num_shards, &rng);
+    for (const int fan_in : {2, 4, 8}) {
+      MergeTreeOptions serial;
+      serial.fan_in = fan_in;
+      auto base = ReduceSnapshots(snapshots, 8, serial);
+      CHECK_OK(base);
+
+      // Shuffled arrival order + tree-level threading must not change a bit.
+      std::vector<ShardSnapshot> shuffled = snapshots;
+      for (size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<size_t>(rng.UniformInt(
+                      static_cast<int64_t>(i)))]);
+      }
+      MergeTreeOptions threaded;
+      threaded.fan_in = fan_in;
+      threaded.num_threads = 8;
+      auto alt = ReduceSnapshots(shuffled, 8, threaded);
+      CHECK_OK(alt);
+
+      CHECK(BitIdentical(base->aggregate, alt->aggregate));
+      CHECK(base->depth == alt->depth);
+      CHECK(base->num_merges == alt->num_merges);
+      CHECK(base->total_weight == alt->total_weight);
+      if (base->total_weight > 0) {
+        CHECK_NEAR(base->aggregate.TotalMass(), 1.0, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(MergeTreeDepthAndErrorAccounting) {
+  Rng rng(4242);
+  // All shards non-empty so the leaf count is exact.
+  const int64_t domain = 512;
+  auto p = NormalizeToDistribution(MakeHistDataset({domain, 5, 8, 20.0,
+                                                    100.0, 1.0}));
+  CHECK_OK(p);
+  auto sampler = AliasSampler::Create(*p);
+  CHECK_OK(sampler);
+  for (const int64_t num_shards : {1, 2, 3, 7, 8, 9, 16}) {
+    std::vector<ShardSnapshot> snapshots;
+    for (int64_t shard = 0; shard < num_shards; ++shard) {
+      auto ingestor = ShardIngestor::Create(static_cast<uint64_t>(shard),
+                                            domain, 8, 128);
+      CHECK_OK(ingestor);
+      CHECK(ingestor->Ingest(sampler->SampleMany(500, &rng)).ok());
+      snapshots.push_back(std::move(ingestor->ExportSnapshot()).value());
+    }
+    for (const int fan_in : {2, 4, 8}) {
+      MergeTreeOptions options;
+      options.fan_in = fan_in;
+      auto reduced = ReduceSnapshots(snapshots, 8, options);
+      CHECK_OK(reduced);
+      // depth = ceil(log_fan_in(N)); num_merges = N - 1 (every reduction
+      // tree folds away exactly one summary per merge).
+      int expected_depth = 0;
+      for (int64_t width = num_shards; width > 1;
+           width = (width + fan_in - 1) / fan_in) {
+        ++expected_depth;
+      }
+      CHECK(reduced->depth == expected_depth);
+      CHECK(reduced->num_merges == num_shards - 1);
+      CHECK(reduced->error_levels == expected_depth + 1);
+      CHECK(reduced->total_weight ==
+            static_cast<double>(num_shards) * 500.0);
+    }
+  }
+  // Degenerate inputs.
+  CHECK(!ReduceSnapshots({}, 8).ok());
+  MergeTreeOptions bad_fan_in;
+  bad_fan_in.fan_in = 1;
+  std::vector<ShardSnapshot> one = MakeSnapshots(1, &rng);
+  CHECK(!ReduceSnapshots(one, 8, bad_fan_in).ok());
+  CHECK(!ReduceSummaries({}, 8).ok());
+
+  // All shards empty: the aggregate is the *first* empty shard's summary in
+  // canonical (shard id) order, with zero weight and one error level.
+  auto empty_a = Histogram::Create(100, {{{0, 100}, 0.01}});
+  auto empty_b = Histogram::Create(100, {{{0, 50}, 0.012}, {{50, 100}, 0.008}});
+  CHECK_OK(empty_a);
+  CHECK_OK(empty_b);
+  std::vector<ShardSnapshot> all_empty;
+  all_empty.push_back({7, 0, EncodeHistogram(*empty_b)});  // higher id first
+  all_empty.push_back({3, 0, EncodeHistogram(*empty_a)});
+  auto empty_reduced = ReduceSnapshots(all_empty, 8);
+  CHECK_OK(empty_reduced);
+  CHECK(BitIdentical(empty_reduced->aggregate, *empty_a));
+  CHECK(empty_reduced->total_weight == 0.0);
+  CHECK(empty_reduced->depth == 0);
+  CHECK(empty_reduced->error_levels == 1);
+}
+
+TEST(AggregatorCdfQuantileRangeMass) {
+  // Hand-checkable summary: mass 0.4 on [0,4), 0.6 on [4,8).
+  auto summary = Histogram::Create(8, {{{0, 4}, 0.1}, {{4, 8}, 0.15}});
+  CHECK_OK(summary);
+  auto aggregator = Aggregator::Create(*summary, 0.01);
+  CHECK_OK(aggregator);
+
+  CHECK_NEAR(aggregator->Cdf(-5), 0.0, 0.0);
+  CHECK_NEAR(aggregator->Cdf(0), 0.1, 1e-12);
+  CHECK_NEAR(aggregator->Cdf(3), 0.4, 1e-12);
+  CHECK_NEAR(aggregator->Cdf(4), 0.55, 1e-12);
+  CHECK_NEAR(aggregator->Cdf(7), 1.0, 0.0);
+  CHECK_NEAR(aggregator->Cdf(100), 1.0, 0.0);
+  for (int64_t x = -2; x < 10; ++x) {  // monotone
+    CHECK(aggregator->Cdf(x) <= aggregator->Cdf(x + 1) + 1e-15);
+  }
+
+  CHECK(aggregator->Quantile(0.0) == 0);
+  CHECK(aggregator->Quantile(0.1) == 0);
+  CHECK(aggregator->Quantile(0.4) == 3);
+  CHECK(aggregator->Quantile(0.41) == 4);
+  CHECK(aggregator->Quantile(1.0) == 7);
+  // Out-of-range and NaN ranks clamp instead of reaching a UB cast.
+  CHECK(aggregator->Quantile(-0.5) == 0);
+  CHECK(aggregator->Quantile(2.0) == 7);
+  CHECK(aggregator->Quantile(std::nan("")) == 0);
+
+  // Piece-aligned range: exact mass, only the caller's error budget.
+  auto aligned = aggregator->RangeMassQuery(0, 4);
+  CHECK_NEAR(aligned.mass, 0.4, 1e-12);
+  CHECK_NEAR(aligned.error_bound, 0.01, 1e-12);
+  // Cutting both pieces: slack covers the unattributable halves.
+  auto cut = aggregator->RangeMassQuery(2, 6);
+  CHECK_NEAR(cut.mass, 0.5, 1e-12);
+  CHECK_NEAR(cut.error_bound, 0.01 + 0.2 + 0.3, 1e-12);
+  // Degenerate/clamped ranges.
+  CHECK_NEAR(aggregator->RangeMassQuery(5, 5).mass, 0.0, 0.0);
+  CHECK_NEAR(aggregator->RangeMassQuery(-10, 100).mass, 1.0, 1e-12);
+
+  // Invalid constructions.
+  CHECK(!Aggregator::Create(Histogram(), 0.0).ok());
+  CHECK(!Aggregator::Create(*summary, -1.0).ok());
+  auto zero_mass = Histogram::Create(8, {{{0, 8}, 0.0}});
+  CHECK_OK(zero_mass);
+  CHECK(!Aggregator::Create(*zero_mass).ok());
+  // Negative or non-finite piece values (possible in a structurally valid
+  // hostile wire blob) must be rejected — they would break the monotone
+  // prefix masses every query relies on.
+  auto negative = Histogram::Create(
+      8, {{{0, 2}, 0.5}, {{2, 4}, -0.2}, {{4, 8}, 0.15}});
+  CHECK_OK(negative);
+  CHECK(!Aggregator::Create(*negative).ok());
+  auto with_nan = Histogram::Create(
+      8, {{{0, 4}, 0.1}, {{4, 8}, std::nan("")}});
+  CHECK_OK(with_nan);
+  CHECK(!Aggregator::Create(*with_nan).ok());
+  auto with_inf = Histogram::Create(
+      8, {{{0, 4}, 0.1}, {{4, 8}, std::numeric_limits<double>::infinity()}});
+  CHECK_OK(with_inf);
+  CHECK(!Aggregator::Create(*with_inf).ok());
+}
+
+TEST(QuantileCdfRoundTripsWithinOnePiece) {
+  Rng rng(31337);
+  std::vector<ShardSnapshot> snapshots = MakeSnapshots(9, &rng);
+  auto reduced = ReduceSnapshots(snapshots, 8);
+  CHECK_OK(reduced);
+  auto aggregator = Aggregator::Create(reduced->aggregate);
+  CHECK_OK(aggregator);
+  const Histogram& h = aggregator->histogram();
+  // The resolution limit of a piecewise-constant summary is one piece of
+  // mass: Quantile(Cdf(x)) may step back across a zero-mass plateau but
+  // never skips more mass than a single piece carries, and never lands
+  // past x.
+  double max_piece_mass = 0.0;
+  for (const HistogramPiece& piece : h.pieces()) {
+    max_piece_mass = std::max(
+        max_piece_mass, std::abs(piece.value) *
+                            static_cast<double>(piece.interval.length()));
+  }
+  for (int64_t x = 0; x < h.domain_size(); x += 3) {
+    const int64_t back = aggregator->Quantile(aggregator->Cdf(x));
+    // May overshoot by at most one point (a 1-ulp rounding of q * total
+    // when x closes a piece), or step back across a zero-mass plateau.
+    CHECK(back <= x + 1);
+    const double mass_gap = aggregator->Cdf(x) - aggregator->Cdf(back);
+    CHECK(std::abs(mass_gap) <= max_piece_mass + 1e-9);
+  }
+}
+
+TEST(ServiceEndToEndQuantiles) {
+  const int64_t domain = 2000;
+  const int64_t k = 10;
+  auto p = NormalizeToDistribution(MakeHistDataset({domain, 19980607, 10,
+                                                    20.0, 100.0, 1.0}));
+  CHECK_OK(p);
+  auto sampler = AliasSampler::Create(*p);
+  CHECK_OK(sampler);
+
+  std::vector<ShardSnapshot> snapshots;
+  std::vector<int64_t> pooled;
+  for (int64_t shard = 0; shard < 4; ++shard) {
+    auto ingestor = ShardIngestor::Create(static_cast<uint64_t>(shard),
+                                          domain, k, 2048);
+    CHECK_OK(ingestor);
+    Rng rng(1000 + static_cast<uint64_t>(shard));
+    const std::vector<int64_t> samples = sampler->SampleMany(25000, &rng);
+    CHECK(ingestor->Ingest(samples).ok());
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+    snapshots.push_back(std::move(ingestor->ExportSnapshot()).value());
+  }
+  auto reduced = ReduceSnapshots(snapshots, k);
+  CHECK_OK(reduced);
+  CHECK(reduced->total_weight == 100000.0);
+  auto aggregator = Aggregator::Create(reduced->aggregate);
+  CHECK_OK(aggregator);
+
+  std::sort(pooled.begin(), pooled.end());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const int64_t served = aggregator->Quantile(q);
+    const int64_t exact = pooled[static_cast<size_t>(
+        q * static_cast<double>(pooled.size()))];
+    // A k=10 summary resolves the distribution at piece granularity; the
+    // served quantile must stay within a few percent of the domain.
+    CHECK(std::abs(served - exact) <= domain / 20);
+  }
+}
+
+}  // namespace
+}  // namespace fasthist

@@ -3,6 +3,7 @@
 // within tolerance, across buffer sizes 512 / 4096 / 32768.
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "core/merging.h"
@@ -12,6 +13,7 @@
 #include "dist/empirical.h"
 #include "dist/l2.h"
 #include "tests/fasthist_test.h"
+#include "tests/histogram_testutil.h"
 #include "util/random.h"
 
 namespace fasthist {
@@ -87,6 +89,94 @@ TEST(StreamingBuilderEdgeCases) {
   CHECK(!StreamingHistogramBuilder::Create(0, 3, 16).ok());
   CHECK(!StreamingHistogramBuilder::Create(100, 0, 16).ok());
   CHECK(!StreamingHistogramBuilder::Create(100, 3, 0).ok());
+}
+
+using ::fasthist::testing::BitIdentical;
+
+TEST(StreamingPeekMatchesSnapshotWithoutMutating) {
+  const int64_t domain = 2000;
+  const std::vector<int64_t>& samples = Samples();
+  // 10000 samples into a 512 buffer: 19 flushes plus a 272-sample partial
+  // buffer, so Peek has to condense and fold without committing.
+  const std::vector<int64_t> stream(samples.begin(), samples.begin() + 10000);
+
+  auto builder = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(builder);
+  // Empty builder: Peek is the uniform distribution, like Snapshot.
+  auto empty_peek = builder->Peek();
+  CHECK_OK(empty_peek);
+  CHECK_NEAR(empty_peek->ValueAt(50), 1.0 / 2000.0, 1e-15);
+
+  CHECK(builder->AddMany(stream).ok());
+  auto peek = builder->Peek();
+  CHECK_OK(peek);
+  // No mutation: the sample count is unchanged and a shadow builder that
+  // never peeked stays bit-identical from here on.
+  CHECK(builder->num_samples() == 10000);
+  auto shadow = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(shadow);
+  CHECK(shadow->AddMany(stream).ok());
+
+  // Peek == the snapshot both builders would produce.
+  auto snapshot = builder->Snapshot();
+  CHECK_OK(snapshot);
+  CHECK(BitIdentical(*peek, *snapshot));
+
+  // The peeked builder's snapshot equals the never-peeked one's...
+  auto shadow_snapshot = shadow->Snapshot();
+  CHECK_OK(shadow_snapshot);
+  CHECK(BitIdentical(*snapshot, *shadow_snapshot));
+  // ...and keeps matching after further ingest on both.
+  const std::vector<int64_t> more(samples.begin() + 10000,
+                                  samples.begin() + 12000);
+  CHECK(builder->AddMany(more).ok());
+  CHECK(shadow->AddMany(more).ok());
+  CHECK(BitIdentical(*builder->Peek(), *shadow->Snapshot()));
+}
+
+TEST(StreamingAddManyBitIdenticalToAddLoop) {
+  const int64_t domain = 2000;
+  const std::vector<int64_t>& samples = Samples();
+  const std::vector<int64_t> stream(samples.begin(), samples.begin() + 20000);
+
+  // Buffer sizes around, below, and above the stream length, including a
+  // capacity that divides the stream exactly and a degenerate size-1 buffer.
+  for (const size_t capacity : {size_t{1}, size_t{7}, size_t{500},
+                                size_t{512}, size_t{30000}}) {
+    auto bulk = StreamingHistogramBuilder::Create(domain, 10, capacity);
+    CHECK_OK(bulk);
+    CHECK(bulk->AddMany(stream).ok());
+
+    auto loop = StreamingHistogramBuilder::Create(domain, 10, capacity);
+    CHECK_OK(loop);
+    for (const int64_t sample : stream) CHECK(loop->Add(sample).ok());
+
+    CHECK(bulk->num_samples() == loop->num_samples());
+    auto bulk_snapshot = bulk->Snapshot();
+    CHECK_OK(bulk_snapshot);
+    auto loop_snapshot = loop->Snapshot();
+    CHECK_OK(loop_snapshot);
+    CHECK(BitIdentical(*bulk_snapshot, *loop_snapshot));
+  }
+
+  // A mid-batch out-of-domain sample leaves both paths in the same state:
+  // the valid prefix ingested (flushes included), the bad sample rejected.
+  std::vector<int64_t> poisoned(stream.begin(), stream.begin() + 2000);
+  poisoned[1000] = domain;  // out of domain
+  auto bulk = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(bulk);
+  CHECK(!bulk->AddMany(poisoned).ok());
+  auto loop = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(loop);
+  Status loop_status = Status::Ok();
+  for (const int64_t sample : poisoned) {
+    loop_status = loop->Add(sample);
+    if (!loop_status.ok()) break;
+  }
+  CHECK(!loop_status.ok());
+  CHECK(bulk->num_samples() == 1000);
+  CHECK(loop->num_samples() == 1000);
+  CHECK(BitIdentical(*bulk->Snapshot(), *loop->Snapshot()));
 }
 
 }  // namespace
