@@ -9,14 +9,19 @@
 // writes the machine-readable perf trajectory to BENCH_merge.json — plus an
 // allocation sanity check asserting the engine's round-persistent buffers
 // really keep the per-construction allocation count independent of the
-// round count.  --smoke shrinks the grid for CI; --out=<path> redirects the
-// JSON.
+// round count.  Every cell is timed min-of-R (R >= 3, --reps=<R> to raise
+// it) with repetitions interleaved across thread counts, so a single noisy
+// run can never enter the committed trajectory and machine-state drift
+// (huge-page promotion, frequency) cannot bias one cell against another.
+// --smoke shrinks the grid for CI; --out=<path> redirects the JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <string>
 #include <thread>
@@ -36,6 +41,7 @@
 #include "poly/fit_poly.h"
 #include "poly/gram.h"
 #include "poly/poly_merging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/selection.h"
 #include "util/simd.h"
@@ -255,17 +261,46 @@ BENCHMARK(BM_SelectKthMedianOfMedians)->Range(1 << 10, 1 << 18)->Complexity();
 // BENCH_merge.json via bench_util::JsonBenchWriter.
 // ---------------------------------------------------------------------------
 
-double TimeConstruction(const std::function<void()>& fn, int reps) {
-  fn();  // warm-up: pools spawned, caches faulted in
-  WallTimer timer;
-  for (int r = 0; r < reps; ++r) fn();
-  return timer.ElapsedMillis() / static_cast<double>(reps);
+// Min-of-R per thread count with thread-count-interleaved, rotated
+// repetitions: every rep times each thread count once (so machine-state
+// drift — page faulting, huge-page promotion, frequency — hits all cells
+// alike), the starting cell rotates each rep (so any within-pass position
+// bias is sampled by every cell), and the per-cell minimum discards what
+// noise remains.  The first pass is an untimed warm-up.
+std::vector<double> MinOfInterleavedReps(
+    const std::vector<int>& threads, int reps,
+    const std::function<void(const MergingOptions&)>& run_cell) {
+  std::vector<double> best(threads.size(), 0.0);
+  std::vector<bool> timed(threads.size(), false);
+  for (int rep = -1; rep < reps; ++rep) {
+    for (size_t j = 0; j < threads.size(); ++j) {
+      const size_t ti = (static_cast<size_t>(rep + 1) + j) % threads.size();
+      MergingOptions options;
+      options.num_threads = threads[ti];
+      WallTimer timer;
+      run_cell(options);
+      const double ms = timer.ElapsedMillis();
+      if (rep < 0) continue;
+      if (!timed[ti] || ms < best[ti]) best[ti] = ms;
+      timed[ti] = true;
+    }
+  }
+  return best;
 }
 
 int RunMergeScalingGrid(int argc, char** argv) {
   const bool smoke = bench_util::HasFlag(argc, argv, "--smoke");
   const char* out_flag = bench_util::FlagValue(argc, argv, "--out=");
   const std::string out_path = out_flag != nullptr ? out_flag : "BENCH_merge.json";
+  const char* reps_flag = bench_util::FlagValue(argc, argv, "--reps=");
+  const int requested_reps = reps_flag != nullptr ? std::atoi(reps_flag) : 3;
+  const int reps = std::max(3, requested_reps);
+  if (requested_reps < 3) {
+    std::fprintf(stderr,
+                 "note: --reps=%d below the floor, using min-of-%d (a lone "
+                 "timed run is how noise gets committed)\n",
+                 requested_reps, reps);
+  }
   const int64_t k = 64;
 
   std::vector<int64_t> sizes = smoke
@@ -276,8 +311,13 @@ int RunMergeScalingGrid(int argc, char** argv) {
 
   bench_util::JsonBenchWriter writer("merge_scaling");
   writer.AddContext("k", static_cast<double>(k));
+  // hardware_threads is what the oversubscription clamp sees: on a 1-core
+  // container every threads > 1 row degrades to the serial path by design
+  // (threads_effective = 1 in the records), so flat rows there are the
+  // clamp working, not missing parallelism.
   writer.AddContext("hardware_threads",
                     static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddContext("timing_min_of_reps", static_cast<double>(reps));
   writer.AddContext("simd_avx2", FASTHIST_SIMD_AVX2);
   bool allocation_check_ok = true;
 
@@ -308,30 +348,30 @@ int RunMergeScalingGrid(int argc, char** argv) {
       allocation_check_ok = false;
     }
 
-    double serial_ms = 0.0;
-    for (const int num_threads : threads) {
-      MergingOptions options;
-      options.num_threads = num_threads;
-      const int reps = n >= (int64_t{1} << 24) ? 1 : 3;
-      const double ms = TimeConstruction(
-          [&] {
-            auto result = ConstructHistogramFast(q, k, options);
-            benchmark::DoNotOptimize(result);
-          },
-          reps);
-      if (num_threads == 1) serial_ms = ms;
+    const std::vector<double> best = MinOfInterleavedReps(
+        threads, reps, [&](const MergingOptions& options) {
+          auto result = ConstructHistogramFast(q, k, options);
+          benchmark::DoNotOptimize(result);
+        });
+    const double serial_ms = best[0];  // threads vector starts at 1
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+      const int num_threads = threads[ti];
+      const double ms = best[ti];
       writer.Add("hist_fast",
                  {{"n", static_cast<double>(n)},
                   {"threads", static_cast<double>(num_threads)},
+                  {"threads_effective",
+                   static_cast<double>(EffectiveParallelism(num_threads))},
                   {"ms", ms},
-                  {"speedup_vs_serial", serial_ms > 0.0 ? serial_ms / ms : 1.0},
+                  {"reps", static_cast<double>(reps)},
+                  {"speedup_vs_serial", ms > 0.0 ? serial_ms / ms : 1.0},
                   {"rounds", static_cast<double>(probe->num_rounds)},
                   {"pieces",
                    static_cast<double>(probe->histogram.num_pieces())},
                   {"allocs", static_cast<double>(allocs)}});
       std::printf("hist_fast n=%lld threads=%d: %.2f ms (%.2fx)\n",
                   static_cast<long long>(n), num_threads, ms,
-                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+                  ms > 0.0 ? serial_ms / ms : 1.0);
       std::fflush(stdout);
     }
   }
@@ -345,27 +385,27 @@ int RunMergeScalingGrid(int argc, char** argv) {
     data_options.domain_size = n;
     const SparseFunction q =
         SparseFunction::FromDense(MakePolyDataset(data_options));
-    double serial_ms = 0.0;
-    for (const int num_threads : threads) {
-      MergingOptions options;
-      options.num_threads = num_threads;
-      const double ms = TimeConstruction(
-          [&] {
-            auto result = ConstructPiecewisePolynomialFast(q, k, degree, options);
-            benchmark::DoNotOptimize(result);
-          },
-          1);
-      if (num_threads == 1) serial_ms = ms;
+    const std::vector<double> best = MinOfInterleavedReps(
+        threads, reps, [&](const MergingOptions& options) {
+          auto result = ConstructPiecewisePolynomialFast(q, k, degree, options);
+          benchmark::DoNotOptimize(result);
+        });
+    const double serial_ms = best[0];
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+      const int num_threads = threads[ti];
+      const double ms = best[ti];
       writer.Add("poly_fast",
                  {{"n", static_cast<double>(n)},
                   {"degree", static_cast<double>(degree)},
                   {"threads", static_cast<double>(num_threads)},
+                  {"threads_effective",
+                   static_cast<double>(EffectiveParallelism(num_threads))},
                   {"ms", ms},
-                  {"speedup_vs_serial",
-                   serial_ms > 0.0 ? serial_ms / ms : 1.0}});
+                  {"reps", static_cast<double>(reps)},
+                  {"speedup_vs_serial", ms > 0.0 ? serial_ms / ms : 1.0}});
       std::printf("poly_fast n=%lld degree=%d threads=%d: %.2f ms (%.2fx)\n",
                   static_cast<long long>(n), degree, num_threads, ms,
-                  serial_ms > 0.0 ? serial_ms / ms : 1.0);
+                  ms > 0.0 ? serial_ms / ms : 1.0);
       std::fflush(stdout);
     }
   }

@@ -84,8 +84,11 @@ StatusOr<HierarchicalHistogram> HierarchicalHistogram::Build(
       static_cast<int64_t>(blocks.size());
 
   std::vector<double> partials(blocks.size(), 0.0);
+  // Clamped to the hardware like every pool call site: oversubscribing a
+  // small container would only add context switching (util/parallel.h).
+  const int effective_threads = EffectiveParallelism(num_threads);
   ThreadPool* pool =
-      num_threads > 1 ? &ThreadPool::Shared(num_threads) : nullptr;
+      effective_threads > 1 ? &ThreadPool::Shared(effective_threads) : nullptr;
   ParallelFor(pool, 0, static_cast<int64_t>(blocks.size()), 1,
               [&](int64_t block_begin, int64_t block_end) {
                 for (int64_t b = block_begin; b < block_end; ++b) {

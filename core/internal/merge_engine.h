@@ -31,17 +31,38 @@ enum class SelectionStrategy { kSort, kSelect };
 
 // The round loop itself (RunRounds in merge_engine.cc) is generic over a
 // policy-owned structure-of-arrays store: the histogram store keeps
-// begin[]/end[]/sum[]/sumsq[] planes and merges statistics with streaming
-// SIMD kernels (util/simd.h), the piecewise-polynomial store keeps interval
-// and coefficient planes and refits a Gram-basis least-squares projection
-// per merged pair.  Candidate and next-generation buffers persist across
-// rounds (no per-round allocation), and the per-round candidate pass is
-// data-parallel over MergingOptions::num_threads (util/parallel.h) with
+// len[]/sum[]/sumsq[] planes and merges statistics with streaming SIMD
+// kernels (util/simd.h), the piecewise-polynomial store keeps interval and
+// coefficient planes and refits a Gram-basis least-squares projection per
+// merged pair.  Each round past the first is one fused streaming pass
+// (CommitAndEvaluate): committing round r's survivors produces round
+// r+1's candidate statistics and errors while the planes are still hot, so
+// a round reads and writes every plane exactly once.  Candidate and
+// next-generation buffers persist across rounds (no per-round allocation),
+// and the fused pass is data-parallel over MergingOptions::num_threads
+// (util/parallel.h, clamped to the hardware by EffectiveParallelism) with
 // bit-identical output at any thread count.  Both entry points below share
 // the selection strategies, the (error, index) total order, the delta/gamma
 // round schedule, and the termination argument — which is what makes the
 // sqrt(1 + delta) guarantee a single proof and the engine a single
 // SIMD/threading target.
+
+// Test-only visibility into the engine's pass structure (thread-local, so
+// concurrent constructions — e.g. merge-tree groups on pool workers —
+// never race).  A "plane pass" is one sweep over the partition planes:
+// evaluate_passes counts stand-alone EvaluatePairs sweeps (the cold start),
+// fused_passes counts CommitAndEvaluate sweeps (commit + next-round
+// evaluate in one), commit_passes counts final-round Commit sweeps.  The
+// fused engine's invariant, asserted by tests/perf_smoke_test.cc, is
+// evaluate_passes + fused_passes + commit_passes == rounds + 1.
+struct EngineCounters {
+  long long evaluate_passes = 0;
+  long long fused_passes = 0;
+  long long commit_passes = 0;
+  long long rounds = 0;
+};
+EngineCounters& EngineCountersForTesting();
+void ResetEngineCountersForTesting();
 
 // Initial sample-linear partition of q: alternating zero-run atoms and
 // singleton support atoms covering [0, domain).

@@ -33,9 +33,12 @@ StatusOr<MergeTreeResult> ReduceSummaries(std::vector<ShardSummary> summaries,
     }
   }
 
-  ThreadPool* pool = options.num_threads > 1
-                         ? &ThreadPool::Shared(options.num_threads)
-                         : nullptr;
+  // Same oversubscription guard as the merge engine: more threads than
+  // cores never helps, and the tree shape (hence the output) does not
+  // depend on the pool size.
+  const int effective_threads = EffectiveParallelism(options.num_threads);
+  ThreadPool* pool =
+      effective_threads > 1 ? &ThreadPool::Shared(effective_threads) : nullptr;
   MergeTreeResult result;
   std::vector<ShardSummary> current = std::move(summaries);
   while (current.size() > 1) {
@@ -108,31 +111,36 @@ StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
                      std::tie(b.shard_id, b.num_samples, b.encoded_histogram);
             });
 
+  // Empty shards carry no mass, so their snapshots are skipped *before*
+  // decoding — a fleet where most shards are idle pays only for the shards
+  // that contributed samples, instead of decoding every envelope just to
+  // drop it.  (Consequence: a corrupt payload inside a zero-sample snapshot
+  // goes unnoticed unless the whole fleet is empty and it is first in
+  // canonical order — the bytes are dead weight either way.)
   std::vector<ShardSummary> summaries;
   summaries.reserve(snapshots.size());
-  Histogram first_decoded;
+  const ShardSnapshot* first_empty = nullptr;
   for (const ShardSnapshot& snapshot : snapshots) {
     if (snapshot.num_samples < 0) {
       return Status::Invalid("ReduceSnapshots: negative sample count");
     }
-    auto histogram = DecodeHistogram(snapshot.encoded_histogram);
-    if (!histogram.ok()) return histogram.status();
-    if (snapshot.num_samples == 0) {  // no mass to contribute
-      // Keep the first empty shard's summary (in canonical order) for the
-      // all-empty fallback below.
-      if (first_decoded.num_pieces() == 0) {
-        first_decoded = std::move(histogram).value();
-      }
+    if (snapshot.num_samples == 0) {
+      if (first_empty == nullptr) first_empty = &snapshot;
       continue;
     }
+    auto histogram = DecodeHistogram(snapshot.encoded_histogram);
+    if (!histogram.ok()) return histogram.status();
     summaries.push_back(ShardSummary{std::move(histogram).value(),
                                      static_cast<double>(snapshot.num_samples)});
   }
   if (summaries.empty()) {
     // Every shard was empty: the aggregate is the shards' common empty-state
-    // summary (the uniform distribution) with no weight behind it.
+    // summary (the uniform distribution) with no weight behind it — the one
+    // case an empty snapshot is decoded.
+    auto histogram = DecodeHistogram(first_empty->encoded_histogram);
+    if (!histogram.ok()) return histogram.status();
     MergeTreeResult result;
-    result.aggregate = std::move(first_decoded);
+    result.aggregate = std::move(histogram).value();
     result.total_weight = 0.0;
     result.depth = 0;
     result.num_merges = 0;

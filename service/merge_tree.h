@@ -76,8 +76,10 @@ StatusOr<MergeTreeResult> ReduceSummaries(
 // Decodes wire snapshots and reduces them.  Snapshots are first sorted by
 // (shard_id, num_samples, bytes) — a canonical leaf order, so the result
 // is bit-identical regardless of arrival order.  Shards with zero samples
-// carry no mass and are dropped; if every shard is empty the aggregate is
-// the (uniform) decoded summary with total_weight 0.
+// carry no mass and are skipped before their payload is even decoded (an
+// idle fleet costs nothing per empty shard); if every shard is empty the
+// aggregate is the first empty shard's decoded (uniform) summary with
+// total_weight 0.
 StatusOr<MergeTreeResult> ReduceSnapshots(
     std::vector<ShardSnapshot> snapshots, int64_t k,
     const MergeTreeOptions& options = MergeTreeOptions());

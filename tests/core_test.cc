@@ -105,6 +105,16 @@ TEST(MergingRejectsBadArguments) {
   MergingOptions no_threads;
   no_threads.num_threads = 0;
   CHECK(!ConstructHistogram(q, 2, no_threads).ok());
+  // Domains beyond 2^53 are rejected explicitly: the engine tracks interval
+  // lengths as exact integral doubles, which stop being exact there.
+  const SparseFunction huge =
+      EmpiricalDistribution((int64_t{1} << 53) + 2, {0, 5}).value();
+  CHECK(!ConstructHistogram(huge, 2).ok());
+  CHECK(!ConstructHistogramFast(huge, 2).ok());
+  CHECK(!ConstructPiecewisePolynomial(huge, 2, 1).ok());
+  const SparseFunction at_limit =
+      EmpiricalDistribution(int64_t{1} << 53, {0, 5}).value();
+  CHECK(ConstructHistogramFast(at_limit, 2).ok());
 }
 
 TEST(MergingClampsExtremeKeepSchedule) {

@@ -23,6 +23,7 @@
 #include "dist/empirical.h"
 #include "poly/poly_merging.h"
 #include "tests/fasthist_test.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace fasthist {
@@ -292,6 +293,95 @@ TEST(ThreadedPolyMatchesSerialRandomized) {
       }
     }
   }
+}
+
+TEST(ThresholdSelectionTieBreakingMatchesSort) {
+  // The value-based threshold select must resolve duplicated candidate
+  // errors exactly like the sort path's strict (error desc, index asc)
+  // order.  Constant inputs make every candidate error identical (all
+  // zero) — the worst case, where the whole round is one tie class — and
+  // two-level inputs make the error plane take a handful of values per
+  // round so the threshold always sits inside a tie run.  Checked
+  // bit-for-bit at 1/2/8 threads (the hardware override forces genuine
+  // pool dispatch even on a 1-core container) for histograms and poly
+  // degrees 0-3.  The retired index-indirect nth_element select was
+  // proven identical to kSort by this same comparison, so matching kSort
+  // also proves parity with it.
+  SetHardwareParallelismForTesting(8);
+  std::vector<std::vector<double>> inputs;
+  inputs.push_back(std::vector<double>(30'000, 1.0));  // constant
+  {
+    std::vector<double> two_level(30'000);
+    for (size_t i = 0; i < two_level.size(); ++i) {
+      two_level[i] = (i / 3) % 2 == 0 ? 1.0 : 2.0;  // short alternating runs
+    }
+    inputs.push_back(std::move(two_level));
+  }
+  {
+    Rng rng(0x71e5'0001);
+    std::vector<double> blocks(30'000);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      blocks[i] = rng.UniformInt(2) == 0 ? -0.5 : 4.0;  // random two-level
+    }
+    inputs.push_back(std::move(blocks));
+  }
+  for (const std::vector<double>& data : inputs) {
+    const SparseFunction q = SparseFunction::FromDense(data);
+    for (int64_t k : {7, 32}) {
+      MergingOptions serial;
+      const auto reference = ConstructHistogram(q, k, serial);
+      CHECK_OK(reference);
+      for (int threads : {1, 2, 8}) {
+        MergingOptions options;
+        options.num_threads = threads;
+        const auto slow = ConstructHistogram(q, k, options);
+        const auto fast = ConstructHistogramFast(q, k, options);
+        CHECK_OK(slow);
+        CHECK_OK(fast);
+        CheckHistogramsIdentical(*reference, *slow);
+        CheckHistogramsIdentical(*reference, *fast);
+      }
+    }
+    // The polynomial engine shares the selection code but ranks refit
+    // residuals; constant and two-level data keep those tied too.
+    const SparseFunction q_small = SparseFunction::FromDense(
+        std::vector<double>(data.begin(), data.begin() + 2'000));
+    for (int degree = 0; degree <= 3; ++degree) {
+      MergingOptions serial;
+      const auto reference =
+          ConstructPiecewisePolynomial(q_small, 5, degree, serial);
+      CHECK_OK(reference);
+      for (int threads : {1, 2, 8}) {
+        MergingOptions options;
+        options.num_threads = threads;
+        const auto slow =
+            ConstructPiecewisePolynomial(q_small, 5, degree, options);
+        const auto fast =
+            ConstructPiecewisePolynomialFast(q_small, 5, degree, options);
+        CHECK_OK(slow);
+        CHECK_OK(fast);
+        for (const PiecewisePolyResult* result : {&*slow, &*fast}) {
+          CHECK(reference->num_rounds == result->num_rounds);
+          CHECK_NEAR(reference->err_squared, result->err_squared, 0.0);
+          CHECK(reference->function.num_pieces() ==
+                result->function.num_pieces());
+          for (int64_t p = 0; p < reference->function.num_pieces(); ++p) {
+            const PolyFit& a =
+                reference->function.pieces()[static_cast<size_t>(p)];
+            const PolyFit& b =
+                result->function.pieces()[static_cast<size_t>(p)];
+            CHECK(a.interval.begin == b.interval.begin);
+            CHECK(a.interval.end == b.interval.end);
+            CHECK(a.coefficients.size() == b.coefficients.size());
+            for (size_t j = 0; j < a.coefficients.size(); ++j) {
+              CHECK_NEAR(a.coefficients[j], b.coefficients[j], 0.0);
+            }
+          }
+        }
+      }
+    }
+  }
+  SetHardwareParallelismForTesting(0);
 }
 
 TEST(MergeHistogramsIsWeightRespecting) {

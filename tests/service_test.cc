@@ -334,6 +334,54 @@ TEST(MergeTreeDepthAndErrorAccounting) {
   CHECK(empty_reduced->error_levels == 1);
 }
 
+TEST(MergeTreeSkipsEmptyShardSnapshotsEarly) {
+  // Zero-sample shards are skipped before their payload is decoded: a
+  // mixed fleet reduces bit-identically to the busy shards alone, and a
+  // corrupt payload riding in an empty envelope is never even parsed.
+  auto h1 = Histogram::Create(100, {{{0, 40}, 0.02}, {{40, 100}, 0.005}});
+  auto h2 = Histogram::Create(100, {{{0, 70}, 0.01}, {{70, 100}, 0.01}});
+  auto h3 = Histogram::Create(100, {{{0, 100}, 0.01}});
+  CHECK_OK(h1);
+  CHECK_OK(h2);
+  CHECK_OK(h3);
+  std::vector<ShardSnapshot> busy;
+  busy.push_back({1, 300, EncodeHistogram(*h1)});
+  busy.push_back({4, 100, EncodeHistogram(*h2)});
+  busy.push_back({6, 200, EncodeHistogram(*h3)});
+  std::vector<ShardSnapshot> fleet = busy;
+  fleet.push_back({2, 0, EncodeHistogram(*h3)});           // idle, valid
+  fleet.push_back({5, 0, {0xde, 0xad, 0xbe, 0xef}});       // idle, corrupt
+  fleet.push_back({7, 0, {}});                             // idle, no bytes
+  for (const int fan_in : {2, 4}) {
+    MergeTreeOptions options;
+    options.fan_in = fan_in;
+    auto with_idle = ReduceSnapshots(fleet, 8, options);
+    auto without_idle = ReduceSnapshots(busy, 8, options);
+    CHECK_OK(with_idle);
+    CHECK_OK(without_idle);
+    CHECK(BitIdentical(with_idle->aggregate, without_idle->aggregate));
+    CHECK(with_idle->depth == without_idle->depth);
+    CHECK(with_idle->num_merges == without_idle->num_merges);
+    CHECK(with_idle->total_weight == 600.0);
+    CHECK(with_idle->error_levels == without_idle->error_levels);
+  }
+
+  // All-empty fleet: only the first empty shard (canonical order) is
+  // decoded.  Corrupt-first surfaces the decode error; valid-first returns
+  // that summary and the corrupt trailing payload stays dead weight.
+  std::vector<ShardSnapshot> corrupt_first;
+  corrupt_first.push_back({9, 0, EncodeHistogram(*h1)});
+  corrupt_first.push_back({3, 0, {1, 2, 3}});
+  CHECK(!ReduceSnapshots(corrupt_first, 8).ok());
+  std::vector<ShardSnapshot> valid_first;
+  valid_first.push_back({9, 0, {1, 2, 3}});
+  valid_first.push_back({3, 0, EncodeHistogram(*h1)});
+  auto reduced = ReduceSnapshots(valid_first, 8);
+  CHECK_OK(reduced);
+  CHECK(BitIdentical(reduced->aggregate, *h1));
+  CHECK(reduced->total_weight == 0.0);
+}
+
 TEST(AggregatorCdfQuantileRangeMass) {
   // Hand-checkable summary: mass 0.4 on [0,4), 0.6 on [4,8).
   auto summary = Histogram::Create(8, {{{0, 4}, 0.1}, {{4, 8}, 0.15}});

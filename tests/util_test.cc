@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -111,6 +113,43 @@ TEST(ParallelForCoversRangeExactlyOnce) {
   });
   for (int h : hits) CHECK(h == 1);
 
+  // Boundary alignment: with align = a, every interior chunk seam lands on
+  // a multiple of `a` (so neighbouring chunks of a double plane never split
+  // a cache line), and coverage stays exactly-once.
+  {
+    ThreadPool& aligned_pool = ThreadPool::Shared(8);
+    for (const int64_t align : {1, 8, 64}) {
+      std::vector<int> hits(100000, 0);
+      std::mutex mu;
+      std::vector<int64_t> seams;
+      aligned_pool.ParallelFor(
+          0, 100000, 1024,
+          [&](int64_t chunk_begin, int64_t chunk_end) {
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              seams.push_back(chunk_begin);
+            }
+            for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+              ++hits[static_cast<size_t>(i)];
+            }
+          },
+          align);
+      for (int h : hits) CHECK(h == 1);
+      for (int64_t seam : seams) CHECK(seam % align == 0);
+    }
+  }
+
+  // The oversubscription guard: EffectiveParallelism clamps a request to
+  // the hardware (overridden here so the test is machine-independent) and
+  // never returns less than 1.
+  SetHardwareParallelismForTesting(4);
+  CHECK(EffectiveParallelism(8) == 4);
+  CHECK(EffectiveParallelism(4) == 4);
+  CHECK(EffectiveParallelism(2) == 2);
+  CHECK(EffectiveParallelism(0) == 1);
+  SetHardwareParallelismForTesting(0);
+  CHECK(EffectiveParallelism(1) == 1);
+
   // A throw inside a chunk — the caller's own (first chunk) or a worker's
   // (a later chunk) — propagates to the caller after the barrier, and the
   // pool stays fully usable afterwards.
@@ -157,6 +196,29 @@ TEST(SimdKernelsMatchScalar) {
       const double r = sumsq[i] - sum[i] * sum[i] / len[i];
       CHECK_NEAR(err[i], r > 0.0 ? r : 0.0, 0.0);
       CHECK(err[i] >= 0.0);
+    }
+  }
+}
+
+TEST(PairwiseSpanMatchesScalar) {
+  // The merged-pair span kernel: dst[i] = double(end[2i+1] - begin[2i]),
+  // exact for any int64 difference a double can hold, including the
+  // unaligned tail and huge endpoints.
+  Rng rng(31);
+  for (size_t n : {0, 1, 3, 4, 5, 31, 128}) {
+    std::vector<int64_t> begin(2 * n), end(2 * n);
+    int64_t cursor = rng.UniformInt(1'000'000'000);
+    for (size_t i = 0; i < 2 * n; ++i) {
+      begin[i] = cursor;
+      cursor += 1 + rng.UniformInt(1 << 20);
+      end[i] = cursor;
+    }
+    std::vector<double> span(n, -1.0);
+    simd::PairwiseSpan(begin.data(), end.data(), n, span.data());
+    for (size_t i = 0; i < n; ++i) {
+      CHECK_NEAR(span[i],
+                 static_cast<double>(end[2 * i + 1] - begin[2 * i]), 0.0);
+      CHECK(span[i] > 0.0);
     }
   }
 }

@@ -1,6 +1,10 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 
@@ -12,7 +16,69 @@ namespace {
 // of deadlocking on the pool's dispatch lock.
 thread_local bool inside_parallel_region = false;
 
+// Test-only override of the hardware concurrency (0 = use the real value).
+std::atomic<int> hardware_parallelism_override{0};
+
+// Best-effort cgroup CPU quota (Linux): in a quota-limited container (e.g.
+// a Kubernetes cpu limit of 1.5 on a 16-core node) hardware_concurrency()
+// still reports the host's 16 logical cores, but the quota is the real
+// bound on useful parallelism — more workers than quota time-slice the
+// allowance, the exact oversubscription EffectiveParallelism exists to
+// prevent.  Returns ceil(quota / period), or 0 when no quota applies (no
+// cgroup, "max", or a non-Linux host where the files don't exist).
+int CgroupCpuQuota() {
+  // cgroup v2: /sys/fs/cgroup/cpu.max holds "<quota-us|max> <period-us>".
+  if (std::FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "r")) {
+    char quota_text[32];
+    long long period = 0;
+    const int fields = std::fscanf(f, "%31s %lld", quota_text, &period);
+    std::fclose(f);
+    if (fields == 2 && std::strcmp(quota_text, "max") != 0 && period > 0) {
+      const long long quota = std::atoll(quota_text);
+      if (quota > 0) {
+        return static_cast<int>((quota + period - 1) / period);
+      }
+    }
+  }
+  // cgroup v1: cpu.cfs_quota_us (-1 = unlimited) over cpu.cfs_period_us.
+  long long quota = -1, period = 0;
+  if (std::FILE* f = std::fopen("/sys/fs/cgroup/cpu/cpu.cfs_quota_us", "r")) {
+    if (std::fscanf(f, "%lld", &quota) != 1) quota = -1;
+    std::fclose(f);
+  }
+  if (std::FILE* f = std::fopen("/sys/fs/cgroup/cpu/cpu.cfs_period_us", "r")) {
+    if (std::fscanf(f, "%lld", &period) != 1) period = 0;
+    std::fclose(f);
+  }
+  if (quota > 0 && period > 0) {
+    return static_cast<int>((quota + period - 1) / period);
+  }
+  return 0;
+}
+
 }  // namespace
+
+int EffectiveParallelism(int requested) {
+  requested = std::max(requested, 1);
+  const int override_value =
+      hardware_parallelism_override.load(std::memory_order_relaxed);
+  if (override_value > 0) return std::min(requested, override_value);
+  // The quota is read once: it cannot change for a running process without
+  // the whole cgroup being reconfigured, and this sits on every pool-
+  // selection path.
+  static const int hardware = [] {
+    int cores = static_cast<int>(std::thread::hardware_concurrency());
+    const int quota = CgroupCpuQuota();
+    if (quota > 0 && (cores <= 0 || quota < cores)) cores = quota;
+    return cores;
+  }();
+  if (hardware <= 0) return requested;  // unknown hardware: trust the caller
+  return std::min(requested, hardware);
+}
+
+void SetHardwareParallelismForTesting(int value) {
+  hardware_parallelism_override.store(value, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = std::max(num_threads, 1) - 1;
@@ -72,14 +138,16 @@ void ThreadPool::WorkerLoop(int worker_index) {
 
 void ThreadPool::ParallelFor(
     int64_t begin, int64_t end, int64_t grain,
-    const std::function<void(int64_t, int64_t)>& body) {
+    const std::function<void(int64_t, int64_t)>& body, int64_t align) {
   if (end <= begin) return;
   grain = std::max<int64_t>(grain, 1);
+  align = std::min(std::max<int64_t>(align, 1), grain);
   const int64_t range = end - begin;
   // Deterministic static partition: chunk count depends only on the range,
-  // the grain, and the pool size — never on runtime scheduling.
-  const int64_t max_chunks =
-      std::min<int64_t>(num_threads(), (range + grain - 1) / grain);
+  // the grain, and the pool size — never on runtime scheduling.  Every
+  // chunk is at least one full grain (minimum work per task), so a range
+  // shorter than two grains stays serial.
+  const int64_t max_chunks = ChunkCount(range, grain, num_threads());
   if (max_chunks <= 1 || inside_parallel_region) {
     body(begin, end);
     return;
@@ -90,8 +158,9 @@ void ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mu_);
     chunks_.resize(static_cast<size_t>(max_chunks));
     for (int64_t c = 0; c < max_chunks; ++c) {
-      chunks_[static_cast<size_t>(c)] = {begin + range * c / max_chunks,
-                                         begin + range * (c + 1) / max_chunks};
+      chunks_[static_cast<size_t>(c)] = {
+          ChunkBoundary(begin, range, max_chunks, c, align),
+          ChunkBoundary(begin, range, max_chunks, c + 1, align)};
     }
     body_ = &body;
     pending_ = static_cast<int>(max_chunks) - 1;

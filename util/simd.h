@@ -2,6 +2,7 @@
 #define FASTHIST_UTIL_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
 
 // Portable SIMD shim for the merge engine's streaming kernels.  The AVX2
 // path compiles when the target enables it (__AVX2__, e.g. via the
@@ -38,6 +39,20 @@ inline void PairwiseSum(const double* src, size_t n, double* dst) {
   }
 #endif
   for (; i < n; ++i) dst[i] = src[2 * i] + src[2 * i + 1];
+}
+
+// dst[i] = double(end[2*i + 1] - begin[2*i]) for i in [0, n): the span of
+// the merged pair (i's two adjacent intervals) as a double, ready to be the
+// `len` input of ResidualError.  The cast is exact for spans up to 2^53
+// (the merge engine rejects larger domains up front).  Scalar only: AVX2
+// has no int64 -> double convert (that is AVX-512's vcvtqq2pd), and the
+// magic-constant trick is only exact below 2^52 — a plain loop matches the
+// cast's rounding everywhere and auto-vectorizes where the hardware allows.
+inline void PairwiseSpan(const int64_t* begin, const int64_t* end, size_t n,
+                         double* dst) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<double>(end[2 * i + 1] - begin[2 * i]);
+  }
 }
 
 // err[i] = max(0, sumsq[i] - sum[i]^2 / len[i]): the best-flat-fit squared
