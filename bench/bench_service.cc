@@ -1,17 +1,33 @@
-// End-to-end throughput of the service layer over a shards x samples grid:
-// per-shard ingest (StreamingHistogramBuilder::AddMany), snapshot export +
-// wire encoding, merge-tree reduction at fan-in 2/4/8, and quantile-query
-// latency on the aggregate.  Writes the machine-readable perf trajectory to
-// BENCH_service.json (same schema as BENCH_merge.json).
+// End-to-end throughput of the service layer.  Two grids, both written to
+// the same machine-readable perf trajectory (BENCH_service.json, same
+// schema as BENCH_merge.json):
 //
-//   bench_service --grid [--smoke] [--out=PATH]
+//   --grid          shards x samples: per-shard ingest
+//                   (StreamingHistogramBuilder::AddMany), snapshot export +
+//                   wire encoding, merge-tree reduction at fan-in 2/4/8,
+//                   and quantile-query latency on the aggregate.
+//   --striped-grid  writer-threads x stripes: N real std::threads appending
+//                   concurrently into one StripedShardIngestor, timed end
+//                   to end (create + append + reconcile export).  Reps are
+//                   interleaved and rotated across the writer-count axis so
+//                   no cell owns a quiet (or noisy) stretch of the machine.
 //
-// --smoke shrinks the grid for CI; the binary exits non-zero if any
-// service call fails or the aggregate loses mass, so the smoke run doubles
+// With neither flag both grids run.  Every JSON row records
+// threads_effective (what the machine actually ran, so a 1-core container
+// cannot masquerade as a scaling result), the stripe count, and the
+// min-of-R rep count (--reps=N, floor 3).
+//
+//   bench_service [--grid] [--striped-grid] [--smoke] [--reps=N] [--out=PATH]
+//
+// --smoke shrinks the grids for CI; the binary exits non-zero if any
+// service call fails or an aggregate loses mass, so the smoke run doubles
 // as an end-to-end correctness check.
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -24,8 +40,12 @@
 #include "service/aggregator.h"
 #include "service/merge_tree.h"
 #include "service/shard.h"
+#include "service/striped_ingestor.h"
+#include "service/wire_format.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace fasthist {
 namespace {
@@ -77,28 +97,28 @@ std::vector<ShardSnapshot> IngestAndExport(
   return snapshots;
 }
 
-int RunGrid(bool smoke, const std::string& out_path) {
+const AliasSampler& SharedSampler() {
+  static const AliasSampler* sampler = [] {
+    auto p = NormalizeToDistribution(MakeHistDataset({kDomain, 19980607, 10,
+                                                      20.0, 100.0, 1.0}));
+    if (!p.ok()) Die("NormalizeToDistribution", p.status());
+    auto s = AliasSampler::Create(*p);
+    if (!s.ok()) Die("AliasSampler::Create", s.status());
+    return new AliasSampler(std::move(s).value());
+  }();
+  return *sampler;
+}
+
+int RunGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
   const std::vector<int64_t> shard_counts =
       smoke ? std::vector<int64_t>{1, 4} : std::vector<int64_t>{1, 4, 16, 64};
   const std::vector<int64_t> sample_counts =
       smoke ? std::vector<int64_t>{4096}
             : std::vector<int64_t>{16384, 131072};
-  const double min_ms = smoke ? 5.0 : 30.0;
-  const int max_reps = smoke ? 5 : 200;
-
-  auto p = NormalizeToDistribution(MakeHistDataset({kDomain, 19980607, 10,
-                                                    20.0, 100.0, 1.0}));
-  if (!p.ok()) Die("NormalizeToDistribution", p.status());
-  auto sampler = AliasSampler::Create(*p);
-  if (!sampler.ok()) Die("AliasSampler::Create", sampler.status());
-
-  bench_util::JsonBenchWriter writer("service");
-  writer.AddContext("domain", static_cast<double>(kDomain));
-  writer.AddContext("k", static_cast<double>(kK));
-  writer.AddContext("buffer_capacity", static_cast<double>(kBufferCapacity));
-  writer.AddContext("hardware_threads",
-                    static_cast<double>(std::thread::hardware_concurrency()));
-  writer.AddContext("smoke", smoke ? 1.0 : 0.0);
+  const AliasSampler& sampler = SharedSampler();
+  // This grid's pipeline is single-threaded end to end, so every row's
+  // threads_effective is 1 regardless of the machine.
+  const double threads_effective = 1.0;
 
   TablePrinter table({"shards", "samples/shard", "ingest Msamp/s",
                       "snap bytes/shard", "reduce ms f2", "reduce ms f4",
@@ -106,13 +126,13 @@ int RunGrid(bool smoke, const std::string& out_path) {
 
   for (const int64_t shards : shard_counts) {
     for (const int64_t samples_per_shard : sample_counts) {
-      const auto streams = MakeShardStreams(*sampler, shards,
+      const auto streams = MakeShardStreams(sampler, shards,
                                             samples_per_shard);
 
       // Ingest throughput: shard creation + AddMany + snapshot export, the
       // full per-shard pipeline a server would run.
-      const double ingest_ms = bench_util::TimeMillis(
-          [&] { IngestAndExport(streams); }, min_ms, max_reps);
+      const double ingest_ms = bench_util::MinMillis(
+          [&] { IngestAndExport(streams); }, reps);
       const double total_samples =
           static_cast<double>(shards * samples_per_shard);
       const double ingest_msamples_per_s = total_samples / (ingest_ms * 1e3);
@@ -134,12 +154,12 @@ int RunGrid(bool smoke, const std::string& out_path) {
       for (int i = 0; i < 3; ++i) {
         MergeTreeOptions options;
         options.fan_in = fan_ins[i];
-        reduce_ms[i] = bench_util::TimeMillis(
+        reduce_ms[i] = bench_util::MinMillis(
             [&] {
               auto reduced = ReduceSnapshots(snapshots, kK, options);
               if (!reduced.ok()) Die("ReduceSnapshots", reduced.status());
             },
-            min_ms, max_reps);
+            reps);
         auto reduced = ReduceSnapshots(snapshots, kK, options);
         if (!reduced.ok()) Die("ReduceSnapshots", reduced.status());
         if (std::abs(reduced->aggregate.TotalMass() - 1.0) > 1e-6) {
@@ -157,7 +177,7 @@ int RunGrid(bool smoke, const std::string& out_path) {
       // Query latency on the fan-in-2 aggregate.
       auto aggregator = Aggregator::Create(reduced_fan2.aggregate);
       if (!aggregator.ok()) Die("Aggregator::Create", aggregator.status());
-      const double query_ms = bench_util::TimeMillis(
+      const double query_ms = bench_util::MinMillis(
           [&] {
             double sink = 0.0;
             for (int i = 0; i < kNumQuantileQueries; ++i) {
@@ -167,7 +187,7 @@ int RunGrid(bool smoke, const std::string& out_path) {
             }
             if (sink < 0.0) std::abort();  // keep the loop observable
           },
-          min_ms, max_reps);
+          reps);
       const double query_us =
           query_ms * 1e3 / static_cast<double>(kNumQuantileQueries);
 
@@ -177,6 +197,9 @@ int RunGrid(bool smoke, const std::string& out_path) {
                  {{"shards", static_cast<double>(shards)},
                   {"samples_per_shard",
                    static_cast<double>(samples_per_shard)},
+                  {"threads_effective", threads_effective},
+                  {"stripes", 1.0},
+                  {"reps", static_cast<double>(reps)},
                   {"ingest_ms", ingest_ms},
                   {"ingest_msamples_per_s", ingest_msamples_per_s},
                   {"snapshot_bytes_per_shard", snapshot_bytes},
@@ -202,11 +225,178 @@ int RunGrid(bool smoke, const std::string& out_path) {
   }
 
   table.Print(std::cout);
-  if (!writer.WriteFile(out_path)) {
-    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
-    return 2;
+  return 0;
+}
+
+// --- striped grid -----------------------------------------------------------
+
+constexpr size_t kStripedBatch = 1024;
+
+// One full multi-writer pipeline: create a StripedShardIngestor, claim
+// `writers` stripes, append each writer's pre-generated stream from its own
+// std::thread in kStripedBatch-sample batches, join, and export the
+// reconciled snapshot.  Returns the snapshot so the caller can verify it
+// outside the timed region; any service failure dies (a benchmark that
+// silently times broken runs is worse than one that aborts).
+ShardSnapshot RunStripedCellOnce(
+    int writers, int stripes,
+    const std::vector<std::vector<int64_t>>& streams) {
+  auto ingestor = StripedShardIngestor::Create(
+      /*shard_id=*/0, kDomain, kK, kBufferCapacity, MergingOptions(), stripes);
+  if (!ingestor.ok()) Die("StripedShardIngestor::Create", ingestor.status());
+  std::vector<StripedShardIngestor::Writer> handles;
+  handles.reserve(static_cast<size_t>(writers));
+  for (int w = 0; w < writers; ++w) {
+    auto handle = (*ingestor)->RegisterWriter();
+    if (!handle.ok()) Die("RegisterWriter", handle.status());
+    handles.push_back(std::move(handle).value());
   }
-  std::printf("\nwrote %s\n", out_path.c_str());
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(writers));
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::vector<int64_t>& stream = streams[static_cast<size_t>(w)];
+      for (size_t off = 0; off < stream.size(); off += kStripedBatch) {
+        const size_t len = std::min(kStripedBatch, stream.size() - off);
+        if (!handles[static_cast<size_t>(w)]
+                 .Append(Span<const int64_t>(stream.data() + off, len))
+                 .ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failed.load(std::memory_order_relaxed)) {
+    Die("Writer::Append", Status::Invalid("append failed mid-stream"));
+  }
+  auto snapshot = (*ingestor)->ExportSnapshot();
+  if (!snapshot.ok()) Die("ExportSnapshot", snapshot.status());
+  return std::move(snapshot).value();
+}
+
+int RunStripedGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
+  const std::vector<int> writer_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> stripe_counts =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 8, 16};
+  const int64_t samples_per_writer = smoke ? 8192 : 65536;
+
+  // One stream per writer slot, shared by every cell: cells differ only in
+  // how many writers drain them and across how many stripes.
+  const AliasSampler& sampler = SharedSampler();
+  const int max_writers =
+      *std::max_element(writer_counts.begin(), writer_counts.end());
+  std::vector<std::vector<int64_t>> streams;
+  streams.reserve(static_cast<size_t>(max_writers));
+  for (int w = 0; w < max_writers; ++w) {
+    Rng rng(0x57a1bed0 + static_cast<uint64_t>(w));
+    streams.push_back(sampler.SampleMany(
+        static_cast<size_t>(samples_per_writer), &rng));
+  }
+
+  struct Cell {
+    int writers = 0;
+    int stripes = 0;
+  };
+  std::vector<Cell> cells;
+  for (const int stripes : stripe_counts) {
+    for (const int writers : writer_counts) {
+      // A stripe stays claimed for a writer's lifetime, so a cell needs at
+      // least as many stripes as writers.
+      if (writers > stripes) continue;
+      cells.push_back({writers, stripes});
+    }
+  }
+
+  // Min-of-R with the reps interleaved and rotated across cells (the
+  // bench_micro pattern): every cell's reps are spread over the whole
+  // wall-clock window, so a noisy stretch of the machine hurts all cells
+  // alike instead of poisoning whichever cell owned it.  Pass -1 is an
+  // uncounted warm-up.
+  std::vector<double> best_ms(cells.size(), 0.0);
+  std::vector<ShardSnapshot> last_snapshot(cells.size());
+  for (int rep = -1; rep < reps; ++rep) {
+    for (size_t j = 0; j < cells.size(); ++j) {
+      const size_t ci = (static_cast<size_t>(rep + 1) + j) % cells.size();
+      const Cell& cell = cells[ci];
+      WallTimer timer;
+      ShardSnapshot snapshot =
+          RunStripedCellOnce(cell.writers, cell.stripes, streams);
+      const double ms = timer.ElapsedMillis();
+      if (rep >= 0 && (best_ms[ci] == 0.0 || ms < best_ms[ci])) {
+        best_ms[ci] = ms;
+      }
+      last_snapshot[ci] = std::move(snapshot);
+    }
+  }
+
+  // Correctness gate (outside the timed region): exact count and unit mass
+  // on every cell's final export.
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    const int64_t expected =
+        static_cast<int64_t>(cells[ci].writers) * samples_per_writer;
+    if (last_snapshot[ci].num_samples != expected) {
+      std::fprintf(stderr, "bench_service: cell w%d_s%d counted %lld != %lld\n",
+                   cells[ci].writers, cells[ci].stripes,
+                   static_cast<long long>(last_snapshot[ci].num_samples),
+                   static_cast<long long>(expected));
+      return 2;
+    }
+    auto decoded = DecodeHistogram(last_snapshot[ci].encoded_histogram);
+    if (!decoded.ok()) Die("DecodeHistogram", decoded.status());
+    if (std::abs(decoded->TotalMass() - 1.0) > 1e-6) {
+      std::fprintf(stderr, "bench_service: striped mass drifted to %.9f\n",
+                   decoded->TotalMass());
+      return 2;
+    }
+  }
+
+  TablePrinter table({"writers", "stripes", "thr eff", "ms",
+                      "ingest Msamp/s", "speedup vs 1w"});
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    const Cell& cell = cells[ci];
+    // The single-writer cell at the same stripe count is the scaling
+    // baseline (same reconcile fan-in, same per-stripe capacity).
+    double one_writer_ms = best_ms[ci];
+    for (size_t bj = 0; bj < cells.size(); ++bj) {
+      if (cells[bj].writers == 1 && cells[bj].stripes == cell.stripes) {
+        one_writer_ms = best_ms[bj];
+      }
+    }
+    const double total_samples =
+        static_cast<double>(cell.writers) *
+        static_cast<double>(samples_per_writer);
+    const double msamples_per_s = total_samples / (best_ms[ci] * 1e3);
+    // Throughput scaling: W writers push W x the samples, so the ratio of
+    // throughputs is W * ms_1writer / ms.
+    const double speedup =
+        best_ms[ci] > 0.0
+            ? static_cast<double>(cell.writers) * one_writer_ms / best_ms[ci]
+            : 0.0;
+    const int threads_effective = EffectiveParallelism(cell.writers);
+    const std::string name = "striped_w" + std::to_string(cell.writers) +
+                             "_s" + std::to_string(cell.stripes);
+    writer.Add(name,
+               {{"writers", static_cast<double>(cell.writers)},
+                {"stripes", static_cast<double>(cell.stripes)},
+                {"threads_effective", static_cast<double>(threads_effective)},
+                {"samples_per_writer",
+                 static_cast<double>(samples_per_writer)},
+                {"reps", static_cast<double>(reps)},
+                {"ms", best_ms[ci]},
+                {"ingest_msamples_per_s", msamples_per_s},
+                {"speedup_vs_1writer", speedup}});
+    table.AddRow({TablePrinter::FormatInt(cell.writers),
+                  TablePrinter::FormatInt(cell.stripes),
+                  TablePrinter::FormatInt(threads_effective),
+                  TablePrinter::FormatDouble(best_ms[ci], 3),
+                  TablePrinter::FormatDouble(msamples_per_s, 2),
+                  TablePrinter::FormatDouble(speedup, 2)});
+  }
+  table.Print(std::cout);
   return 0;
 }
 
@@ -214,9 +404,53 @@ int RunGrid(bool smoke, const std::string& out_path) {
 }  // namespace fasthist
 
 int main(int argc, char** argv) {
-  const bool smoke = fasthist::bench_util::HasFlag(argc, argv, "--smoke");
-  const char* out = fasthist::bench_util::FlagValue(argc, argv, "--out=");
-  // --grid is the only mode; accept (and ignore) its absence so plain runs
-  // behave the same.
-  return fasthist::RunGrid(smoke, out != nullptr ? out : "BENCH_service.json");
+  using fasthist::bench_util::FlagValue;
+  using fasthist::bench_util::HasFlag;
+
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool grid_flag = HasFlag(argc, argv, "--grid");
+  const bool striped_flag = HasFlag(argc, argv, "--striped-grid");
+  const char* out = FlagValue(argc, argv, "--out=");
+  const std::string out_path = out != nullptr ? out : "BENCH_service.json";
+
+  // Min-of-R rep count: --reps=N, floored at 3 (below that a minimum is
+  // just a sample).
+  int reps = smoke ? 3 : 9;
+  if (const char* reps_flag = FlagValue(argc, argv, "--reps=")) {
+    reps = std::atoi(reps_flag);
+    if (reps < 3) {
+      std::fprintf(stderr, "bench_service: --reps floored to 3\n");
+      reps = 3;
+    }
+  }
+
+  // With neither grid flag, run both into the same trajectory file.
+  const bool run_grid = grid_flag || !striped_flag;
+  const bool run_striped = striped_flag || !grid_flag;
+
+  fasthist::bench_util::JsonBenchWriter writer("service");
+  writer.AddContext("domain", static_cast<double>(fasthist::kDomain));
+  writer.AddContext("k", static_cast<double>(fasthist::kK));
+  writer.AddContext("buffer_capacity",
+                    static_cast<double>(fasthist::kBufferCapacity));
+  writer.AddContext("hardware_threads",
+                    static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddContext("hardware_parallelism",
+                    static_cast<double>(fasthist::HardwareParallelism()));
+  writer.AddContext("smoke", smoke ? 1.0 : 0.0);
+  writer.AddContext("reps", static_cast<double>(reps));
+
+  int rc = 0;
+  if (run_grid) rc = fasthist::RunGrid(smoke, reps, writer);
+  if (rc == 0 && run_striped) {
+    rc = fasthist::RunStripedGrid(smoke, reps, writer);
+  }
+  if (rc != 0) return rc;
+
+  if (!writer.WriteFile(out_path)) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
 }

@@ -36,6 +36,23 @@ inline double TimeMillis(const std::function<void()>& fn,
   return timer.ElapsedMillis() / static_cast<double>(reps);
 }
 
+/// Minimum wall-clock milliseconds of `fn` over `reps` measured runs, after
+/// one uncounted warm-up run.  Min-of-R is the noise-robust summary for
+/// committed trajectories (a minimum is immune to the scheduler hiccups an
+/// average smears in); rows recording it should also record `reps` so a
+/// reader knows how hard the minimum was shopped.
+inline double MinMillis(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up: caches, branch predictors, lazy allocations
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
 /// True if `flag` (e.g. "--fast") appears among the arguments.
 inline bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {

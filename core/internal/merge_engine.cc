@@ -821,6 +821,10 @@ class PolyStore {
 
 }  // namespace
 
+int64_t MaxSurvivingPieces(int64_t k, const MergingOptions& options) {
+  return StopThreshold(PairsKeptPerRound(k, options), options);
+}
+
 // Algorithm 1's round skeleton, generic over the SoA store (see the block
 // comment above the stores).  Both selection strategies rank under the same
 // strict (error desc, index asc) total order, so they pick identical pair

@@ -64,6 +64,16 @@ struct EngineCounters {
 EngineCounters& EngineCountersForTesting();
 void ResetEngineCountersForTesting();
 
+// Upper bound on the piece count any engine construction or merge can
+// produce with these knobs: the round loop only terminates once at most
+// 2*gamma*m + 1 intervals survive (m = max(k, floor(k*(1 + 1/delta))),
+// both products clamped exactly like the engine's internal schedule), and
+// a partition that starts at or below that threshold is returned as-is —
+// so every output satisfies pieces <= min(this bound, domain_size).
+// Callers that pre-size fixed-capacity buffers for engine outputs (the
+// striped ingestor's lock-free summary planes) size them with this.
+int64_t MaxSurvivingPieces(int64_t k, const MergingOptions& options);
+
 // Initial sample-linear partition of q: alternating zero-run atoms and
 // singleton support atoms covering [0, domain).
 std::vector<MergeAtom> AtomsFromSparse(const SparseFunction& q);

@@ -32,8 +32,7 @@ Status StreamingHistogramBuilder::Add(int64_t sample) {
   return Status::Ok();
 }
 
-Status StreamingHistogramBuilder::AddMany(
-    const std::vector<int64_t>& samples) {
+Status StreamingHistogramBuilder::AddMany(Span<const int64_t> samples) {
   size_t i = 0;
   while (i < samples.size()) {
     const size_t space = buffer_capacity_ - buffer_.size();
@@ -60,16 +59,27 @@ Status StreamingHistogramBuilder::AddMany(
   return Status::Ok();
 }
 
-StatusOr<Histogram> StreamingHistogramBuilder::FoldedSummary(
-    const std::vector<int64_t>& buffer) const {
-  auto empirical = EmpiricalDistribution(domain_size_, buffer);
+StatusOr<Histogram> StreamingHistogramBuilder::FoldBufferIntoSummary(
+    const Histogram* summary, int64_t summarized_count,
+    Span<const int64_t> buffer, int64_t domain_size, int64_t k,
+    const MergingOptions& options) {
+  auto empirical = EmpiricalDistribution(domain_size, buffer);
   if (!empirical.ok()) return empirical.status();
-  auto batch = ConstructHistogramFast(*empirical, k_, options_);
+  auto batch = ConstructHistogramFast(*empirical, k, options);
   if (!batch.ok()) return batch.status();
-  if (summarized_count_ == 0) return std::move(batch->histogram);
-  return MergeHistograms(summary_, static_cast<double>(summarized_count_),
-                         batch->histogram,
-                         static_cast<double>(buffer.size()), k_, options_);
+  if (summary == nullptr || summarized_count == 0) {
+    return std::move(batch->histogram);
+  }
+  return MergeHistograms(*summary, static_cast<double>(summarized_count),
+                         batch->histogram, static_cast<double>(buffer.size()),
+                         k, options);
+}
+
+StatusOr<Histogram> StreamingHistogramBuilder::FoldedSummary(
+    Span<const int64_t> buffer) const {
+  return FoldBufferIntoSummary(summarized_count_ > 0 ? &summary_ : nullptr,
+                               summarized_count_, buffer, domain_size_, k_,
+                               options_);
 }
 
 Status StreamingHistogramBuilder::Flush() {
@@ -79,6 +89,7 @@ Status StreamingHistogramBuilder::Flush() {
   summary_ = std::move(folded).value();
   summarized_count_ += static_cast<int64_t>(buffer_.size());
   buffer_.clear();
+  ++generation_;
   return Status::Ok();
 }
 

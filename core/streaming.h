@@ -6,6 +6,7 @@
 
 #include "core/merging.h"
 #include "dist/histogram.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace fasthist {
@@ -33,8 +34,10 @@ class StreamingHistogramBuilder {
   // per full buffer.  The flush boundaries are the same as the Add loop's,
   // so the resulting summary — and the builder state, including after a
   // mid-batch out-of-domain error — is bit-identical to calling Add per
-  // sample.
-  Status AddMany(const std::vector<int64_t>& samples);
+  // sample.  Takes a pointer+length view (std::vector arguments convert
+  // implicitly), so callers can ingest slices of arbitrary buffers —
+  // network frames, mmapped columns — without copying into a vector first.
+  Status AddMany(Span<const int64_t> samples);
 
   // Flushes the buffer and returns the current summary as a (mass ~1)
   // histogram over the domain.  With no samples ingested yet, returns the
@@ -55,6 +58,46 @@ class StreamingHistogramBuilder {
     return summarized_count_ + static_cast<int64_t>(buffer_.size());
   }
 
+  // --- Generation hooks for concurrent wrappers ---------------------------
+  //
+  // The builder itself is single-writer and unsynchronized; these hooks are
+  // what service/striped_ingestor.h's seqlock protocol is built from.  The
+  // generation counts committed condenses (buffer -> summary folds), so a
+  // wrapper can tag everything it republishes for concurrent readers with
+  // the generation it was derived from, bracket the builder's mutation
+  // window with an odd/even epoch, and detect "a condense happened while I
+  // was reading" as a generation change.  It is also the summary's error-
+  // level count (Lemma 4.2: one lossy condensation per committed fold).
+
+  // Committed condenses so far; bumped exactly once per buffer fold
+  // (Flush with a non-empty buffer), never by Peek.
+  uint64_t generation() const { return generation_; }
+
+  // Samples sitting in the not-yet-condensed buffer.
+  size_t buffered() const { return buffer_.size(); }
+
+  size_t buffer_capacity() const { return buffer_capacity_; }
+  int64_t summarized_count() const { return summarized_count_; }
+  const MergingOptions& options() const { return options_; }
+
+  // The committed summary (valid iff summarized_count() > 0): what the
+  // condensed stream folds to, with no buffered remainder mixed in.  A
+  // wrapper republishes a copy of this after each condense.
+  const Histogram& summary() const { return summary_; }
+
+  // The single condense+fold step every summary in this class comes from,
+  // exposed so wrappers can run the exact same computation on state they
+  // manage themselves (e.g. a seqlock-consistent copy read off another
+  // thread's stripe): condenses `buffer` (non-empty, in-domain) to a
+  // ~2k+1-piece histogram and, when `summary` is non-null, folds it in
+  // with weights (summarized_count : buffer.size()).  Pure: no builder
+  // involved, bit-identical to what Peek()/Snapshot() produce from the
+  // same (summary, summarized_count, buffer) state.
+  static StatusOr<Histogram> FoldBufferIntoSummary(
+      const Histogram* summary, int64_t summarized_count,
+      Span<const int64_t> buffer, int64_t domain_size, int64_t k,
+      const MergingOptions& options);
+
  private:
   StreamingHistogramBuilder(int64_t domain_size, int64_t k,
                             size_t buffer_capacity,
@@ -71,8 +114,10 @@ class StreamingHistogramBuilder {
   // The summary that results from folding `buffer` (non-empty) into the
   // current (summary_, summarized_count_) state, with no mutation.  Flush
   // commits the result; Peek returns and discards it — sharing the exact
-  // computation is what keeps Peek() == Snapshot() bit-identical.
-  StatusOr<Histogram> FoldedSummary(const std::vector<int64_t>& buffer) const;
+  // computation (FoldBufferIntoSummary) is what keeps Peek() == Snapshot()
+  // bit-identical, and the striped ingestor's exports bit-identical to a
+  // per-stripe serial replay.
+  StatusOr<Histogram> FoldedSummary(Span<const int64_t> buffer) const;
 
   int64_t domain_size_;
   int64_t k_;
@@ -81,6 +126,7 @@ class StreamingHistogramBuilder {
   std::vector<int64_t> buffer_;
   Histogram summary_;             // valid iff summarized_count_ > 0
   int64_t summarized_count_ = 0;  // samples already folded into summary_
+  uint64_t generation_ = 0;       // committed condenses (see generation())
 };
 
 }  // namespace fasthist

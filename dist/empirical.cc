@@ -60,15 +60,15 @@ StatusOr<Distribution> NormalizeToDistribution(
   return Distribution::FromWeights(clamped);
 }
 
-StatusOr<SparseFunction> EmpiricalDistribution(
-    int64_t domain_size, const std::vector<int64_t>& samples) {
+StatusOr<SparseFunction> EmpiricalDistribution(int64_t domain_size,
+                                               Span<const int64_t> samples) {
   if (domain_size <= 0) {
     return Status::Invalid("EmpiricalDistribution: domain must be positive");
   }
   if (samples.empty()) {
     return Status::Invalid("EmpiricalDistribution: no samples");
   }
-  std::vector<int64_t> sorted = samples;
+  std::vector<int64_t> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.front() < 0 || sorted.back() >= domain_size) {
     return Status::Invalid("EmpiricalDistribution: sample out of domain");

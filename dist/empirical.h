@@ -6,6 +6,7 @@
 
 #include "dist/histogram.h"
 #include "dist/sparse_function.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace fasthist {
@@ -36,8 +37,10 @@ StatusOr<Distribution> NormalizeToDistribution(const std::vector<double>& data);
 // The empirical distribution \hat p_m of `samples` over [domain_size]: mass
 // count(x)/m at each observed x.  Support size is at most m, so downstream
 // merging runs in sample-linear time.  Samples must lie in the domain.
-StatusOr<SparseFunction> EmpiricalDistribution(
-    int64_t domain_size, const std::vector<int64_t>& samples);
+// Takes a pointer+length view (std::vector arguments convert implicitly),
+// so callers can point at a slice of any buffer without copying.
+StatusOr<SparseFunction> EmpiricalDistribution(int64_t domain_size,
+                                               Span<const int64_t> samples);
 
 // Theorem 3.2 sample-size schedule: the number of samples m that guarantees
 // ||\hat p_m - p||_2 <= eps with probability >= 1 - fail_prob, independent

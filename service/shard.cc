@@ -14,7 +14,7 @@ StatusOr<ShardIngestor> ShardIngestor::Create(uint64_t shard_id,
   return ShardIngestor(shard_id, domain_size, std::move(builder).value());
 }
 
-Status ShardIngestor::Ingest(const std::vector<int64_t>& samples) {
+Status ShardIngestor::Ingest(Span<const int64_t> samples) {
   return builder_.AddMany(samples);
 }
 

@@ -2,10 +2,10 @@
 #define FASTHIST_SERVICE_SHARD_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "core/streaming.h"
 #include "service/wire_format.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace fasthist {
@@ -32,13 +32,20 @@ class ShardIngestor {
   int64_t num_samples() const { return builder_.num_samples(); }
 
   // Batched ingest (bulk buffer appends, one condense+merge per full
-  // buffer).  Samples must lie in [0, domain_size).
-  Status Ingest(const std::vector<int64_t>& samples);
+  // buffer).  Samples must lie in [0, domain_size).  Takes a
+  // pointer+length view (vectors convert implicitly), so a server can
+  // ingest straight out of a network or decode buffer without copying.
+  Status Ingest(Span<const int64_t> samples);
 
   // Wire-encoded summary of everything ingested so far.  Const: built on
   // StreamingHistogramBuilder::Peek, so exporting never flushes the buffer
   // or perturbs the summaries later ingest will produce.  Callers must
-  // serialize exports against concurrent Ingest calls on the same shard.
+  // serialize exports against concurrent Ingest calls on the same shard —
+  // this class is the simple single-writer front-end.  When many threads
+  // feed one shard, or exports must run while writers keep appending, use
+  // StripedShardIngestor (service/striped_ingestor.h): same snapshot
+  // format, wait-free concurrent appends, and exports that never block
+  // writers.
   StatusOr<ShardSnapshot> ExportSnapshot() const;
 
  private:

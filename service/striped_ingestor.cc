@@ -1,0 +1,411 @@
+#include "service/striped_ingestor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/internal/merge_engine.h"
+#include "service/merge_tree.h"
+#include "util/padded.h"
+#include "util/parallel.h"
+
+namespace fasthist {
+namespace {
+
+// The seqlock memory-order recipe, shared by the condense (writer) and the
+// cut readers below.  Every reader-visible field is an atomic, so even a
+// torn read is a well-defined read of stale data that the epoch check then
+// discards — there is no non-atomic data under this lock-free protocol.
+//
+//   writer condense:  epoch -> odd, seq_cst fence,
+//                     mutate planes/window_count (relaxed stores),
+//                     seq_cst fence, epoch -> even, seq_cst fence
+//   reader cut:       epoch (acquire, must be even),
+//                     copy planes/window (relaxed loads, count via acquire),
+//                     seq_cst fence, epoch again (relaxed, must match)
+//
+// The fences carry the proof: a reader that observed any store the writer
+// issued after one of the condense fences synchronizes with that fence
+// (release-fence before the store, acquire-fence after the load), so its
+// trailing epoch load is guaranteed to see the bumped epoch and retry.  The
+// trailing fence after the even store extends the same argument to the
+// writer's post-condense appends, which rewrite window slots outside any
+// odd window.  Condenses are rare (one per buffer_capacity samples), so
+// seq_cst here costs nothing measurable; the appends themselves stay
+// relaxed + one release.
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+inline uint64_t BeginStripeMutation(std::atomic<uint64_t>& epoch) {
+  const uint64_t e = epoch.load(kRelaxed);  // only the owning writer bumps
+  epoch.store(e + 1, kRelaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return e;
+}
+
+inline void EndStripeMutation(std::atomic<uint64_t>& epoch, uint64_t e) {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  epoch.store(e + 2, kRelaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+StatusOr<Histogram> UniformHistogram(int64_t domain_size) {
+  return Histogram::Create(
+      domain_size,
+      {{{0, domain_size}, 1.0 / static_cast<double>(domain_size)}});
+}
+
+// One seqlock-consistent view of a stripe: the published summary pieces
+// plus the buffered window prefix, as of some instant between two condenses.
+struct StripeCut {
+  std::vector<HistogramPiece> pieces;
+  int64_t published = 0;
+  std::vector<int64_t> window;
+};
+
+}  // namespace
+
+// All reader-visible state is atomic and fixed-capacity (allocated once at
+// Create): the sample window, the published summary planes (piece ends as
+// int64, piece values as IEEE-754 bit patterns — bits, not doubles, so
+// republication is exact and the reconcile stays bit-identical), and the
+// counters.  Histogram itself holds a std::vector, which must never be
+// mutated under a reader — hence planes instead of a shared Histogram.
+// The builder and scratch are writer-owned: only the claiming thread
+// touches them, and claim hand-off (release store / CAS acquire) orders
+// them across successive owners.
+struct alignas(kCacheLineBytes) StripedShardIngestor::Stripe {
+  Stripe(StreamingHistogramBuilder b, size_t window_capacity,
+         int64_t plane_capacity)
+      : builder(std::move(b)),
+        window(new std::atomic<int64_t>[window_capacity]()),
+        plane_ends(new std::atomic<int64_t>[plane_capacity]()),
+        plane_values(new std::atomic<uint64_t>[plane_capacity]()) {
+    scratch.reserve(window_capacity);
+  }
+
+  // Reader-side seqlock loop: retries until a full copy of the published
+  // planes and the window prefix lands between two identical even epochs.
+  StripeCut ReadCut(size_t window_capacity, int64_t plane_capacity) const;
+
+  // --- Writer-owned (claiming thread only; handed off via claim CAS) ---
+  StreamingHistogramBuilder builder;
+  std::vector<int64_t> scratch;  // plain copy of the window for condense
+
+  // --- Shared (atomic, seqlock-protected where noted) -------------------
+  std::atomic<bool> claimed{false};
+  std::atomic<bool> poisoned{false};  // a condense failed; stripe is dead
+
+  // Seqlock epoch: even = stable, odd = condense republishing.  Equals
+  // 2 * builder.generation() whenever stable.
+  PaddedAtomic<uint64_t> epoch{};
+  // Samples currently in the window; release-published per append batch.
+  PaddedAtomic<int64_t> window_count{};
+  // Samples folded into the published planes (builder.summarized_count()).
+  PaddedAtomic<int64_t> published_count{};
+  // Pieces in the published planes; 0 until the first condense.
+  std::atomic<int64_t> plane_pieces{0};
+
+  std::unique_ptr<std::atomic<int64_t>[]> window;
+  std::unique_ptr<std::atomic<int64_t>[]> plane_ends;
+  std::unique_ptr<std::atomic<uint64_t>[]> plane_values;
+};
+
+StripeCut StripedShardIngestor::Stripe::ReadCut(size_t window_capacity,
+                                                int64_t plane_capacity) const {
+  StripeCut cut;
+  for (int attempt = 0;; ++attempt) {
+    const uint64_t e1 = epoch.value.load(std::memory_order_acquire);
+    if ((e1 & 1) == 0) {
+      cut.published = published_count.value.load(kRelaxed);
+      // Clamps keep even an inconsistent (soon-discarded) read in bounds.
+      int64_t pieces = plane_pieces.load(kRelaxed);
+      if (pieces > plane_capacity) pieces = plane_capacity;
+      cut.pieces.clear();
+      cut.pieces.reserve(static_cast<size_t>(pieces));
+      int64_t begin = 0;
+      for (int64_t p = 0; p < pieces; ++p) {
+        const int64_t end = plane_ends[p].load(kRelaxed);
+        const uint64_t bits = plane_values[p].load(kRelaxed);
+        double value;
+        std::memcpy(&value, &bits, sizeof(value));
+        cut.pieces.push_back({{begin, end}, value});
+        begin = end;
+      }
+      int64_t count = window_count.value.load(std::memory_order_acquire);
+      if (count > static_cast<int64_t>(window_capacity)) {
+        count = static_cast<int64_t>(window_capacity);
+      }
+      cut.window.clear();
+      cut.window.reserve(static_cast<size_t>(count));
+      for (int64_t j = 0; j < count; ++j) {
+        cut.window.push_back(window[j].load(kRelaxed));
+      }
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const uint64_t e2 = epoch.value.load(kRelaxed);
+      if (e1 == e2) return cut;  // no condense ran under us
+    }
+    // The stripe condensed (or was mid-condense) — rare, so be polite
+    // rather than burning the writer's core.
+    if (attempt >= 8) std::this_thread::yield();
+  }
+}
+
+// --- Writer handle ---------------------------------------------------------
+
+StripedShardIngestor::Writer::Writer(Writer&& other) noexcept
+    : owner_(other.owner_), stripe_(other.stripe_) {
+  other.owner_ = nullptr;
+  other.stripe_ = -1;
+}
+
+StripedShardIngestor::Writer& StripedShardIngestor::Writer::operator=(
+    Writer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    owner_ = other.owner_;
+    stripe_ = other.stripe_;
+    other.owner_ = nullptr;
+    other.stripe_ = -1;
+  }
+  return *this;
+}
+
+StripedShardIngestor::Writer::~Writer() { Release(); }
+
+void StripedShardIngestor::Writer::Release() {
+  if (owner_ == nullptr) return;
+  owner_->ReleaseStripe(stripe_);
+  owner_ = nullptr;
+  stripe_ = -1;
+}
+
+Status StripedShardIngestor::Writer::Append(Span<const int64_t> samples) {
+  if (owner_ == nullptr) {
+    return Status::Invalid("StripedShardIngestor: Append on a released Writer");
+  }
+  return owner_->AppendToStripe(*owner_->stripes_[static_cast<size_t>(stripe_)],
+                                samples);
+}
+
+// --- Ingestor --------------------------------------------------------------
+
+StripedShardIngestor::StripedShardIngestor(uint64_t shard_id,
+                                           int64_t domain_size, int64_t k,
+                                           size_t buffer_capacity,
+                                           const MergingOptions& options)
+    : shard_id_(shard_id),
+      domain_size_(domain_size),
+      k_(k),
+      buffer_capacity_(buffer_capacity),
+      options_(options) {}
+
+StripedShardIngestor::~StripedShardIngestor() = default;
+
+StatusOr<std::unique_ptr<StripedShardIngestor>> StripedShardIngestor::Create(
+    uint64_t shard_id, int64_t domain_size, int64_t k, size_t buffer_capacity,
+    const MergingOptions& options, int num_stripes) {
+  if (num_stripes < 0) {
+    return Status::Invalid("StripedShardIngestor: num_stripes must be >= 0");
+  }
+  const int stripes = num_stripes == 0 ? DefaultStripeCount() : num_stripes;
+  if (stripes > 65536) {
+    return Status::Invalid("StripedShardIngestor: num_stripes too large");
+  }
+  std::unique_ptr<StripedShardIngestor> ingestor(new StripedShardIngestor(
+      shard_id, domain_size, k, buffer_capacity, options));
+  ingestor->stripes_.reserve(static_cast<size_t>(stripes));
+  for (int i = 0; i < stripes; ++i) {
+    auto builder = StreamingHistogramBuilder::Create(domain_size, k,
+                                                     buffer_capacity, options);
+    if (!builder.ok()) return builder.status();
+    if (i == 0) {
+      // Valid knobs (the first builder vouches for them) — the engine's
+      // piece bound is now well-defined and sizes every stripe's planes.
+      ingestor->plane_capacity_ =
+          std::min(internal::MaxSurvivingPieces(k, options), domain_size);
+    }
+    ingestor->stripes_.push_back(std::make_unique<Stripe>(
+        std::move(builder).value(), buffer_capacity,
+        ingestor->plane_capacity_));
+  }
+  return ingestor;
+}
+
+StatusOr<StripedShardIngestor::Writer> StripedShardIngestor::RegisterWriter() {
+  for (size_t i = 0; i < stripes_.size(); ++i) {
+    bool expected = false;
+    if (stripes_[i]->claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      return Writer(this, static_cast<int>(i));
+    }
+  }
+  return Status::Invalid(
+      "StripedShardIngestor: all stripes claimed — create with num_stripes >= "
+      "the peak concurrent writer count");
+}
+
+void StripedShardIngestor::ReleaseStripe(int stripe) {
+  // Release so the next claimant's CAS-acquire sees this writer's
+  // builder/scratch state.
+  stripes_[static_cast<size_t>(stripe)]->claimed.store(
+      false, std::memory_order_release);
+}
+
+Status StripedShardIngestor::Ingest(Span<const int64_t> samples) {
+  auto writer = RegisterWriter();
+  if (!writer.ok()) return writer.status();
+  return writer->Append(samples);  // handle releases its stripe on return
+}
+
+Status StripedShardIngestor::AppendToStripe(Stripe& stripe,
+                                            Span<const int64_t> samples) {
+  if (stripe.poisoned.load(kRelaxed)) {
+    return Status::Invalid(
+        "StripedShardIngestor: stripe poisoned by a failed condense");
+  }
+  const int64_t capacity = static_cast<int64_t>(buffer_capacity_);
+  // Single writer per stripe: this thread's own stores are the only ones,
+  // so the relaxed load is the authoritative count.
+  int64_t count = stripe.window_count.value.load(kRelaxed);
+  size_t i = 0;
+  while (i < samples.size()) {
+    const size_t space = static_cast<size_t>(capacity - count);
+    const size_t take = std::min(space, samples.size() - i);
+    // Store the valid prefix, then publish it with one release store — the
+    // same prefix-on-error contract as StreamingHistogramBuilder::AddMany.
+    size_t valid = 0;
+    while (valid < take) {
+      const int64_t sample = samples[i + valid];
+      if (sample < 0 || sample >= domain_size_) break;
+      stripe.window[static_cast<size_t>(count) + valid].store(sample, kRelaxed);
+      ++valid;
+    }
+    count += static_cast<int64_t>(valid);
+    stripe.window_count.value.store(count, std::memory_order_release);
+    if (valid < take) {
+      return Status::Invalid("StripedShardIngestor: sample out of domain");
+    }
+    i += take;
+    if (count == capacity) {
+      if (Status s = CondenseStripe(stripe); !s.ok()) return s;
+      count = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status StripedShardIngestor::CondenseStripe(Stripe& stripe) {
+  const uint64_t e = BeginStripeMutation(stripe.epoch.value);
+
+  // Stage the full window through the stripe's own builder: AddMany of
+  // exactly buffer_capacity in-domain samples into an empty-buffered
+  // builder runs exactly one Flush, so the builder state after this line
+  // is definitionally the state a serial replay of this stripe's stream
+  // would have — that equality is the determinism contract's foundation.
+  stripe.scratch.clear();
+  for (size_t j = 0; j < buffer_capacity_; ++j) {
+    stripe.scratch.push_back(stripe.window[j].load(kRelaxed));
+  }
+  if (Status s = stripe.builder.AddMany(stripe.scratch); !s.ok()) {
+    // The builder may hold partial state now; replaying the window would
+    // double-ingest.  Kill the stripe rather than guess.
+    stripe.poisoned.store(true, kRelaxed);
+    EndStripeMutation(stripe.epoch.value, e);
+    return s;
+  }
+
+  const Histogram& summary = stripe.builder.summary();
+  const auto& pieces = summary.pieces();
+  for (size_t p = 0; p < pieces.size(); ++p) {
+    stripe.plane_ends[p].store(pieces[p].interval.end, kRelaxed);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double), "double must be 64-bit");
+    std::memcpy(&bits, &pieces[p].value, sizeof(bits));
+    stripe.plane_values[p].store(bits, kRelaxed);
+  }
+  stripe.plane_pieces.store(summary.num_pieces(), kRelaxed);
+  stripe.published_count.value.store(stripe.builder.summarized_count(),
+                                     kRelaxed);
+  stripe.window_count.value.store(0, kRelaxed);
+
+  EndStripeMutation(stripe.epoch.value, e);
+  return Status::Ok();
+}
+
+StatusOr<ShardSnapshot> StripedShardIngestor::ExportSnapshot() const {
+  // Stripe-id order: the leaf order of the reconcile fold, so the result
+  // depends only on the per-stripe cuts, never on thread interleaving.
+  std::vector<ShardSummary> summaries;
+  int64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    StripeCut cut = stripe->ReadCut(buffer_capacity_, plane_capacity_);
+    const int64_t count =
+        cut.published + static_cast<int64_t>(cut.window.size());
+    if (count == 0) continue;  // stripe never wrote; contributes nothing
+    Histogram summary;
+    if (cut.published > 0) {
+      auto rebuilt = Histogram::Create(domain_size_, std::move(cut.pieces));
+      if (!rebuilt.ok()) return rebuilt.status();
+      summary = std::move(rebuilt).value();
+    }
+    if (!cut.window.empty()) {
+      // The same fold Peek() runs, on our consistent copy of the stripe.
+      auto folded = StreamingHistogramBuilder::FoldBufferIntoSummary(
+          cut.published > 0 ? &summary : nullptr, cut.published, cut.window,
+          domain_size_, k_, options_);
+      if (!folded.ok()) return folded.status();
+      summary = std::move(folded).value();
+    }
+    total += count;
+    summaries.push_back({std::move(summary), static_cast<double>(count)});
+  }
+
+  ShardSnapshot snapshot;
+  snapshot.shard_id = shard_id_;
+  snapshot.num_samples = total;
+  if (summaries.empty()) {
+    auto uniform = UniformHistogram(domain_size_);  // same as an empty Peek
+    if (!uniform.ok()) return uniform.status();
+    snapshot.encoded_histogram = EncodeHistogram(*uniform);
+    return snapshot;
+  }
+  // fan_in = S folds every stripe in one level, left-to-right in stripe-id
+  // order: one extra merge level (kReconcileErrorLevels) and a
+  // deterministic aggregate for a given sample->stripe assignment.
+  MergeTreeOptions reconcile;
+  reconcile.fan_in = std::max(2, static_cast<int>(summaries.size()));
+  reconcile.num_threads = 1;
+  reconcile.merging = options_;
+  auto reduced = ReduceSummaries(std::move(summaries), k_, reconcile);
+  if (!reduced.ok()) return reduced.status();
+  snapshot.encoded_histogram = EncodeHistogram(reduced->aggregate);
+  return snapshot;
+}
+
+int64_t StripedShardIngestor::num_samples() const {
+  int64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    const Stripe& s = *stripe;
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t e1 = s.epoch.value.load(std::memory_order_acquire);
+      if ((e1 & 1) == 0) {
+        const int64_t published = s.published_count.value.load(kRelaxed);
+        const int64_t buffered = s.window_count.value.load(kRelaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (s.epoch.value.load(kRelaxed) == e1) {
+          // Epoch-stable pair: no condense moved samples between the two
+          // counters under us, so the sum never double-counts a window.
+          total += published + buffered;
+          break;
+        }
+      }
+      if (attempt >= 8) std::this_thread::yield();
+    }
+  }
+  return total;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,172 @@
+#ifndef FASTHIST_SERVICE_STRIPED_INGESTOR_H_
+#define FASTHIST_SERVICE_STRIPED_INGESTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/streaming.h"
+#include "service/wire_format.h"
+#include "util/span.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// The multi-writer ingest front-end: one shard's traffic fanned across S
+// per-thread builder stripes, so the write path scales across writer
+// threads without locks while exports stay consistent and deterministic.
+// This is the concurrent sibling of ShardIngestor (service/shard.h) —
+// same snapshot wire format, same merge-tree downstream, but Append and
+// ExportSnapshot may run concurrently from any number of threads.
+//
+// Design (stripe diagram and protocol walk-through in README.md,
+// "Concurrent ingest"):
+//
+//   * Stripes.  Each stripe owns a StreamingHistogramBuilder plus a
+//     fixed-capacity sample window and a published summary, all in
+//     cache-line-padded, separately-allocated state — no shared mutable
+//     state between stripes on the append path.
+//
+//   * Wait-free writes.  A writer claims a stripe once (RegisterWriter:
+//     lowest free stripe by id, one atomic CAS) and thereafter appends
+//     with plain relaxed stores into the stripe's window plus one release
+//     store of the per-stripe sample counter per batch — no locks, no
+//     read-modify-writes, no waiting on readers or other writers, ever.
+//     When the window fills, the owning writer condenses it through the
+//     stripe's builder (the same fold a serial StreamingHistogramBuilder
+//     runs) and republishes the stripe summary.
+//
+//   * Epoch-tagged reads (seqlock).  Each stripe carries an even/odd
+//     generation counter bumped around its condense: odd while the
+//     builder folds and the summary planes are republished, even when
+//     stable.  ExportSnapshot reads each stripe optimistically — epoch,
+//     summary planes, window prefix, epoch again — and retries only the
+//     stripes whose epoch moved mid-read (i.e. that condensed under it).
+//     Readers never block writers; writers never wait for readers.
+//
+//   * Deterministic reconciliation.  The export folds the per-stripe
+//     summaries in stripe-id order through the service's reduction layer
+//     (ReduceSummaries with fan_in = S: a single level, stripes folded
+//     left-to-right with the weighted MergeHistograms), so for a given
+//     assignment of samples to stripes the exported aggregate is
+//     bit-identical to a serial replay of the per-stripe streams — no
+//     matter how writer threads interleaved or how many exports ran
+//     concurrently.  The reconcile costs exactly one extra merge level of
+//     error on top of each stripe's own condenses, accounted the same way
+//     as merge-tree levels (MergeTreeResult::error_levels).
+class StripedShardIngestor {
+ public:
+  // A claimed stripe: the handle through which exactly one thread appends.
+  // Move-only; releases its stripe on destruction (the stripe's summary
+  // state survives — a later claimant continues where it left off).  A
+  // handle must not be used from two threads at once: the whole point is
+  // that the append path is single-writer per stripe.
+  class Writer {
+   public:
+    Writer() = default;
+    Writer(Writer&& other) noexcept;
+    Writer& operator=(Writer&& other) noexcept;
+    ~Writer();
+
+    Writer(const Writer&) = delete;
+    Writer& operator=(const Writer&) = delete;
+
+    // Appends a batch into the claimed stripe: per sample one relaxed
+    // store, per batch one release store of the stripe counter, one
+    // condense per filled window.  Samples must lie in [0, domain_size);
+    // like AddMany, the valid prefix of a bad batch is still ingested.
+    Status Append(Span<const int64_t> samples);
+
+    bool valid() const { return owner_ != nullptr; }
+    int stripe() const { return stripe_; }
+
+    // Releases the claim early (destruction does the same).
+    void Release();
+
+   private:
+    friend class StripedShardIngestor;
+    Writer(StripedShardIngestor* owner, int stripe)
+        : owner_(owner), stripe_(stripe) {}
+
+    StripedShardIngestor* owner_ = nullptr;
+    int stripe_ = -1;
+  };
+
+  // `num_stripes` is the peak number of concurrent writers the shard must
+  // support (each live Writer holds one stripe); 0 picks
+  // util/parallel.h's DefaultStripeCount for this machine.  More stripes
+  // cost memory (a window + summary planes each) and one extra summary in
+  // the reconcile fold; they never cost append-path synchronization.
+  // Returns unique_ptr because stripes hold atomics: the ingestor is
+  // address-stable, neither copyable nor movable.
+  static StatusOr<std::unique_ptr<StripedShardIngestor>> Create(
+      uint64_t shard_id, int64_t domain_size, int64_t k,
+      size_t buffer_capacity, const MergingOptions& options = MergingOptions(),
+      int num_stripes = 0);
+
+  ~StripedShardIngestor();
+
+  StripedShardIngestor(const StripedShardIngestor&) = delete;
+  StripedShardIngestor& operator=(const StripedShardIngestor&) = delete;
+
+  uint64_t shard_id() const { return shard_id_; }
+  int64_t domain_size() const { return domain_size_; }
+  int num_stripes() const { return static_cast<int>(stripes_.size()); }
+
+  // Claims the lowest free stripe.  Fails (without blocking) when all
+  // stripes are claimed — create the ingestor with num_stripes >= the peak
+  // concurrent writer count.  Thread-safe.
+  StatusOr<Writer> RegisterWriter();
+
+  // Convenience single-call ingest: claims a stripe, appends, releases.
+  // Sequential callers keep landing on stripe 0 (lowest-free claiming), so
+  // a single-threaded user gets plain ShardIngestor behavior; concurrent
+  // callers pay the claim CAS per call — threads that ingest repeatedly
+  // should hold a Writer instead.
+  Status Ingest(Span<const int64_t> samples);
+
+  // Wire-encoded summary of a consistent cut of every stripe: safe to call
+  // from any thread at any time, never blocks or delays writers, retries
+  // only stripes that condensed mid-read.  The cut is per-stripe prefix-
+  // consistent: everything each stripe had published at its read point,
+  // reconciled deterministically in stripe-id order.
+  StatusOr<ShardSnapshot> ExportSnapshot() const;
+
+  // Samples appended so far (published summaries + windows).  Exact once
+  // writers are quiescent; during concurrent appends it is a moment-in-time
+  // sum of per-stripe monotone counters.
+  int64_t num_samples() const;
+
+  // The reconcile's error accounting: folding S stripe summaries through
+  // one ReduceSummaries level costs one extra merge level on top of each
+  // stripe's own condense levels — the caller adds this to its per-stripe
+  // error budget exactly like one merge-tree level.
+  static constexpr int kReconcileErrorLevels = 1;
+
+ private:
+  struct Stripe;  // defined in striped_ingestor.cc
+
+  StripedShardIngestor(uint64_t shard_id, int64_t domain_size, int64_t k,
+                       size_t buffer_capacity, const MergingOptions& options);
+
+  // Writer-side append path for a claimed stripe (see Writer::Append).
+  Status AppendToStripe(Stripe& stripe, Span<const int64_t> samples);
+
+  // Writer-side: stage the full window through the stripe's builder and
+  // republish the stripe summary inside an odd epoch window.
+  Status CondenseStripe(Stripe& stripe);
+
+  void ReleaseStripe(int stripe);
+
+  uint64_t shard_id_;
+  int64_t domain_size_;
+  int64_t k_;
+  size_t buffer_capacity_;
+  MergingOptions options_;
+  int64_t plane_capacity_ = 0;  // max pieces a stripe summary can have
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_SERVICE_STRIPED_INGESTOR_H_

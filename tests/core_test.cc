@@ -1,13 +1,16 @@
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "baseline/exact_dp.h"
 #include "core/fast_merging.h"
 #include "core/hierarchical.h"
+#include "core/internal/merge_engine.h"
 #include "core/merging.h"
 #include "data/generators.h"
 #include "dist/empirical.h"
 #include "tests/fasthist_test.h"
+#include "util/random.h"
 
 namespace fasthist {
 namespace {
@@ -202,6 +205,41 @@ TEST(HierarchicalServesAllScales) {
         1e-6 * (1.0 + selection->error_estimate));
   }
   CHECK(!hierarchy->SelectForK(0).ok());
+}
+
+TEST(MaxSurvivingPiecesBoundsEveryEngineOutput) {
+  // internal::MaxSurvivingPieces is the pre-sizing contract for
+  // fixed-capacity consumers of engine outputs (the striped ingestor's
+  // atomic summary planes): every construction and merge must fit inside
+  // min(bound, domain_size) — across the knob sweeps that move the round
+  // schedule's clamps around.
+  Rng rng(0xb0fd'2026);
+  const MergingOptions sweeps[] = {
+      {1000.0, 1.0}, {0.5, 1.0}, {0.1, 1.0}, {2.0, 4.0}, {1e-9, 1.0}};
+  for (const int64_t domain : {int64_t{64}, int64_t{512}, int64_t{4096}}) {
+    std::vector<int64_t> samples;
+    for (int i = 0; i < 3000; ++i) samples.push_back(rng.UniformInt(domain));
+    auto q = EmpiricalDistribution(domain, samples);
+    CHECK_OK(q);
+    for (const int64_t k : {int64_t{1}, int64_t{8}, int64_t{64}}) {
+      for (const MergingOptions& options : sweeps) {
+        const int64_t bound =
+            std::min(internal::MaxSurvivingPieces(k, options), domain);
+        CHECK(bound >= 1);
+        auto constructed = ConstructHistogramFast(*q, k, options);
+        CHECK_OK(constructed);
+        CHECK(constructed->histogram.num_pieces() <= bound);
+        auto merged = MergeHistograms(constructed->histogram, 2.0,
+                                      constructed->histogram, 1.0, k, options);
+        CHECK_OK(merged);
+        CHECK(merged->num_pieces() <= bound);
+      }
+    }
+  }
+  // The delta clamp: a tiny delta blows the kept-pairs count up to the
+  // engine's 2^61 ceiling, and the bound must follow the same clamp rather
+  // than overflow.
+  CHECK(internal::MaxSurvivingPieces(8, {1e-18, 1.0}) > 0);
 }
 
 }  // namespace

@@ -472,5 +472,83 @@ TEST(MergeHistogramsIsAssociativeUpToTolerance) {
   }
 }
 
+TEST(StripedReconciliationWithinSqrtOnePlusDeltaBound) {
+  // The striped ingestor's reconcile is one extra merge level: per-stripe
+  // degree-d summaries h_i (with construction errors e_i against their own
+  // streams q_i) are folded by one more construction over their weighted
+  // mixture.  Triangle inequality + Theorem 3.3 turn that into a provable
+  // bound on the reconciled error against the POOLED stream q = sum w_i q_i:
+  //
+  //   err(reconciled, q) <= err(reconciled, sum w_i h_i) + sum w_i e_i
+  //                      <= sqrt(1+delta) * opt_k(sum w_i h_i) + sum w_i e_i
+  //                      <= sqrt(1+delta) * (opt_k(q) + sum w_i e_i)
+  //                         + sum w_i e_i
+  //
+  // — i.e. one extra sqrt(1+delta) factor and one extra weighted-error
+  // term, exactly the "one merge level" the ingestor's error accounting
+  // charges (StripedShardIngestor::kReconcileErrorLevels).  Verified at
+  // degrees 0-3 against the exact DP optimum.
+  const int64_t n = 96;
+  for (int degree = 0; degree <= 3; ++degree) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      Rng rng(0x57a1'0000 + 1000 * static_cast<uint64_t>(degree) + seed);
+      for (const int stripes : {2, 3}) {
+        // Per-stripe streams with uneven weights (sample-count ratios).
+        std::vector<std::vector<double>> streams;
+        std::vector<double> weights;
+        double total_weight = 0.0;
+        for (int i = 0; i < stripes; ++i) {
+          streams.push_back(RandomDistribution(rng, n));
+          weights.push_back(1.0 + static_cast<double>(rng.UniformInt(4)));
+          total_weight += weights.back();
+        }
+        for (double& w : weights) w /= total_weight;
+        std::vector<double> pooled(static_cast<size_t>(n), 0.0);
+        for (int i = 0; i < stripes; ++i) {
+          for (size_t x = 0; x < pooled.size(); ++x) {
+            pooled[x] += weights[static_cast<size_t>(i)] *
+                         streams[static_cast<size_t>(i)][x];
+          }
+        }
+        for (const int64_t k : {int64_t{3}, int64_t{5}}) {
+          auto opt = PolyOptK(pooled, k, degree);
+          CHECK_OK(opt);
+          for (const double delta : {0.5, 3.0}) {
+            const MergingOptions options{delta, 1.0};
+            // Per-stripe summaries and their weighted mixture.
+            std::vector<double> mixture(static_cast<size_t>(n), 0.0);
+            double weighted_err = 0.0;
+            for (int i = 0; i < stripes; ++i) {
+              auto summary = ConstructPiecewisePolynomial(
+                  SparseFunction::FromDense(streams[static_cast<size_t>(i)]),
+                  k, degree, options);
+              CHECK_OK(summary);
+              weighted_err += weights[static_cast<size_t>(i)] *
+                              std::sqrt(summary->err_squared);
+              const std::vector<double> dense = summary->function.ToDense();
+              for (size_t x = 0; x < mixture.size(); ++x) {
+                mixture[x] += weights[static_cast<size_t>(i)] * dense[x];
+              }
+            }
+            // The reconcile: one construction over the summary mixture.
+            auto reconciled = ConstructPiecewisePolynomial(
+                SparseFunction::FromDense(mixture), k, degree, options);
+            CHECK_OK(reconciled);
+            const std::vector<double> dense = reconciled->function.ToDense();
+            double err_sq = 0.0;
+            for (size_t x = 0; x < dense.size(); ++x) {
+              const double d = dense[x] - pooled[x];
+              err_sq += d * d;
+            }
+            CHECK(std::sqrt(err_sq) <=
+                  std::sqrt(1.0 + delta) * (*opt + weighted_err) +
+                      weighted_err + 1e-7);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fasthist

@@ -16,6 +16,7 @@
 #include "service/aggregator.h"
 #include "service/merge_tree.h"
 #include "service/shard.h"
+#include "service/striped_ingestor.h"
 #include "service/wire_format.h"
 #include "tests/fasthist_test.h"
 #include "tests/histogram_testutil.h"
@@ -508,6 +509,64 @@ TEST(ServiceEndToEndQuantiles) {
     // served quantile must stay within a few percent of the domain.
     CHECK(std::abs(served - exact) <= domain / 20);
   }
+}
+
+TEST(StripedSnapshotFeedsMergeTreeLikeAnyShard) {
+  // A striped ingestor's export is a plain ShardSnapshot: it reduces
+  // through ReduceSnapshots next to single-writer shards, counts its
+  // samples in total_weight, and the mixed-fleet aggregate still tracks
+  // the pooled stream.
+  const int64_t domain = 2000;
+  const int64_t k = 10;
+  auto p = NormalizeToDistribution(MakeHistDataset({domain, 20260807, 10,
+                                                    20.0, 100.0, 1.0}));
+  CHECK_OK(p);
+  auto sampler = AliasSampler::Create(*p);
+  CHECK_OK(sampler);
+
+  std::vector<ShardSnapshot> snapshots;
+  std::vector<int64_t> pooled;
+
+  auto plain = ShardIngestor::Create(0, domain, k, 2048);
+  CHECK_OK(plain);
+  Rng plain_rng(501);
+  const std::vector<int64_t> plain_samples = sampler->SampleMany(30000,
+                                                                 &plain_rng);
+  CHECK(plain->Ingest(plain_samples).ok());
+  pooled.insert(pooled.end(), plain_samples.begin(), plain_samples.end());
+  snapshots.push_back(std::move(plain->ExportSnapshot()).value());
+
+  auto striped = StripedShardIngestor::Create(1, domain, k, 2048,
+                                              MergingOptions(), 4);
+  CHECK_OK(striped);
+  for (int w = 0; w < 4; ++w) {
+    auto writer = (*striped)->RegisterWriter();
+    CHECK_OK(writer);
+    Rng rng(600 + static_cast<uint64_t>(w));
+    const std::vector<int64_t> samples = sampler->SampleMany(15000, &rng);
+    CHECK(writer->Append(samples).ok());
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+  }
+  auto striped_snapshot = (*striped)->ExportSnapshot();
+  CHECK_OK(striped_snapshot);
+  // The envelope codec accepts it like any shard's.
+  auto round_trip =
+      DecodeShardSnapshot(EncodeShardSnapshot(*striped_snapshot));
+  CHECK_OK(round_trip);
+  CHECK(round_trip->num_samples == 60000);
+  snapshots.push_back(std::move(striped_snapshot).value());
+
+  auto reduced = ReduceSnapshots(snapshots, k);
+  CHECK_OK(reduced);
+  CHECK(reduced->total_weight == 90000.0);
+  auto empirical = EmpiricalDistribution(domain, pooled);
+  CHECK_OK(empirical);
+  const double err =
+      std::sqrt(reduced->aggregate.L2DistanceSquaredTo(*empirical));
+  // The striped shard pays kReconcileErrorLevels extra on top of the
+  // shared per-shard condense + tree levels; on 90k samples that budget
+  // still lands far under this loose absolute check.
+  CHECK(err < 0.05);
 }
 
 }  // namespace

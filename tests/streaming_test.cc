@@ -2,6 +2,7 @@
 // pipeline (EmpiricalDistribution + ConstructHistogram over all samples)
 // within tolerance, across buffer sizes 512 / 4096 / 32768.
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -177,6 +178,96 @@ TEST(StreamingAddManyBitIdenticalToAddLoop) {
   CHECK(bulk->num_samples() == 1000);
   CHECK(loop->num_samples() == 1000);
   CHECK(BitIdentical(*bulk->Snapshot(), *loop->Snapshot()));
+}
+
+TEST(StreamingSpanIngestFromRawSlices) {
+  const int64_t domain = 2000;
+  const std::vector<int64_t>& samples = Samples();
+  const std::vector<int64_t> stream(samples.begin(), samples.begin() + 6000);
+
+  // Spans over raw pointer slices (the network/decode-buffer caller) must
+  // land bit-identically to one vector AddMany of the whole stream.
+  auto sliced = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(sliced);
+  Rng rng(2026);
+  size_t offset = 0;
+  while (offset < stream.size()) {
+    const size_t batch = std::min(
+        static_cast<size_t>(1 + rng.UniformInt(900)), stream.size() - offset);
+    CHECK(sliced
+              ->AddMany(Span<const int64_t>(stream.data() + offset, batch))
+              .ok());
+    offset += batch;
+  }
+  auto whole = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(whole);
+  CHECK(whole->AddMany(stream).ok());
+  CHECK(sliced->num_samples() == whole->num_samples());
+  CHECK(BitIdentical(*sliced->Snapshot(), *whole->Snapshot()));
+
+  // Subspan views compose: front half + back half == the whole.
+  Span<const int64_t> view(stream);
+  auto halves = StreamingHistogramBuilder::Create(domain, 10, 512);
+  CHECK_OK(halves);
+  CHECK(halves->AddMany(view.subspan(0, 3000)).ok());
+  CHECK(halves->AddMany(view.subspan(3000, stream.size())).ok());
+  CHECK(BitIdentical(*halves->Snapshot(), *whole->Snapshot()));
+}
+
+TEST(StreamingGenerationCountsCommittedCondenses) {
+  const std::vector<int64_t>& samples = Samples();
+  auto builder = StreamingHistogramBuilder::Create(2000, 10, 100);
+  CHECK_OK(builder);
+  CHECK(builder->generation() == 0);
+  CHECK(builder->buffer_capacity() == 100);
+
+  // 250 samples through a 100 buffer: two committed condenses, 50 buffered.
+  CHECK(builder->AddMany({samples.data(), 250}).ok());
+  CHECK(builder->generation() == 2);
+  CHECK(builder->buffered() == 50);
+  CHECK(builder->summarized_count() == 200);
+  CHECK(builder->summary().num_pieces() > 0);
+
+  // Peek never bumps the generation; Snapshot's flush of a non-empty
+  // buffer bumps it exactly once; flushing an empty buffer never does.
+  CHECK_OK(builder->Peek());
+  CHECK(builder->generation() == 2);
+  CHECK_OK(builder->Snapshot());
+  CHECK(builder->generation() == 3);
+  CHECK(builder->buffered() == 0);
+  CHECK_OK(builder->Snapshot());
+  CHECK(builder->generation() == 3);
+}
+
+TEST(StreamingFoldBufferMatchesPeek) {
+  const int64_t domain = 2000;
+  const int64_t k = 10;
+  const std::vector<int64_t>& samples = Samples();
+  auto builder = StreamingHistogramBuilder::Create(domain, k, 512);
+  CHECK_OK(builder);
+  CHECK(builder->AddMany({samples.data(), 1200}).ok());
+  CHECK(builder->buffered() == 176);  // 1200 = 2 * 512 + 176
+
+  // The static fold on hand-copied builder state (what the striped
+  // ingestor's export runs on its seqlock-consistent stripe copies) is
+  // bit-identical to the builder's own Peek.
+  const std::vector<int64_t> window(samples.begin() + 1024,
+                                    samples.begin() + 1200);
+  auto folded = StreamingHistogramBuilder::FoldBufferIntoSummary(
+      &builder->summary(), builder->summarized_count(), window, domain, k,
+      builder->options());
+  CHECK_OK(folded);
+  CHECK(BitIdentical(*folded, *builder->Peek()));
+
+  // With no prior summary the fold is just the batch construction — the
+  // state of a stripe that has never condensed.
+  auto fresh = StreamingHistogramBuilder::Create(domain, k, 512);
+  CHECK_OK(fresh);
+  CHECK(fresh->AddMany({samples.data(), 176}).ok());
+  auto batch_only = StreamingHistogramBuilder::FoldBufferIntoSummary(
+      nullptr, 0, {samples.data(), 176}, domain, k, fresh->options());
+  CHECK_OK(batch_only);
+  CHECK(BitIdentical(*batch_only, *fresh->Peek()));
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+#ifndef FASTHIST_UTIL_PADDED_H_
+#define FASTHIST_UTIL_PADDED_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace fasthist {
+
+// Cache-line padding helpers for per-thread hot state (the striped
+// ingestor's per-stripe counters).  Two writer threads bumping adjacent
+// atomics in the same cache line ping-pong the line between cores on every
+// store even though the data is logically disjoint (false sharing); giving
+// each writer-owned field its own line keeps the wait-free append path at
+// true per-core cost.
+//
+// 64 bytes is the destructive-interference size on every mainstream CPU
+// this library targets (x86-64, Apple/ARM server cores report 64 or 128;
+// 128 only costs memory, 64-crossing costs throughput, so 64 is the floor
+// worth guaranteeing).  std::hardware_destructive_interference_size would
+// say the same but is still missing from common libstdc++ deployments.
+inline constexpr size_t kCacheLineBytes = 64;
+
+// An atomic on its own cache line: the over-alignment both starts the
+// struct on a line boundary and (because sizeof is always a multiple of
+// alignof) rounds its size up to whole lines, so neighbors in an array or
+// an enclosing struct can never share a line with it.
+template <typename T>
+struct alignas(kCacheLineBytes) PaddedAtomic {
+  std::atomic<T> value;
+};
+
+static_assert(sizeof(PaddedAtomic<long long>) == kCacheLineBytes,
+              "a padded atomic must occupy exactly one cache line");
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_PADDED_H_

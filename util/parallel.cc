@@ -58,11 +58,10 @@ int CgroupCpuQuota() {
 
 }  // namespace
 
-int EffectiveParallelism(int requested) {
-  requested = std::max(requested, 1);
+int HardwareParallelism() {
   const int override_value =
       hardware_parallelism_override.load(std::memory_order_relaxed);
-  if (override_value > 0) return std::min(requested, override_value);
+  if (override_value > 0) return override_value;
   // The quota is read once: it cannot change for a running process without
   // the whole cgroup being reconfigured, and this sits on every pool-
   // selection path.
@@ -70,14 +69,29 @@ int EffectiveParallelism(int requested) {
     int cores = static_cast<int>(std::thread::hardware_concurrency());
     const int quota = CgroupCpuQuota();
     if (quota > 0 && (cores <= 0 || quota < cores)) cores = quota;
-    return cores;
+    return std::max(cores, 0);
   }();
+  return hardware;
+}
+
+int EffectiveParallelism(int requested) {
+  requested = std::max(requested, 1);
+  const int hardware = HardwareParallelism();
   if (hardware <= 0) return requested;  // unknown hardware: trust the caller
   return std::min(requested, hardware);
 }
 
 void SetHardwareParallelismForTesting(int value) {
   hardware_parallelism_override.store(value, std::memory_order_relaxed);
+}
+
+int DefaultStripeCount(int writers_hint) {
+  int target = std::max(writers_hint, HardwareParallelism());
+  target = std::max(target, 4);
+  target = std::min(target, 256);
+  int stripes = 4;
+  while (stripes < target) stripes *= 2;
+  return stripes;
 }
 
 ThreadPool::ThreadPool(int num_threads) {

@@ -1,0 +1,68 @@
+#ifndef FASTHIST_UTIL_SPAN_H_
+#define FASTHIST_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace fasthist {
+
+// A non-owning pointer+length view over a contiguous range — the C++17
+// stand-in for std::span<const T>.  Ingest-style APIs take Span<const
+// int64_t> so callers can feed samples straight out of network buffers,
+// memory-mapped files, or slices of larger arrays without copying into a
+// std::vector first; a std::vector argument still converts implicitly, so
+// existing call sites read the same.  A Span never outlives the memory it
+// views; like any view, the caller keeps the backing storage alive.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  // A vector of the element type converts implicitly (the common caller).
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  // Brace-list literals convert too, but only to Span<const T> — the view
+  // is valid exactly for the full-expression the list lives in, which is
+  // the usual "call a function with inline samples" pattern.  (That
+  // deliberate lifetime contract is what -Winit-list-lifetime warns about.)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  Span(std::initializer_list<std::remove_const_t<T>> list)
+      : data_(list.begin()), size_(list.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  template <size_t N>
+  constexpr Span(T (&array)[N]) : data_(array), size_(N) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  // The subview [offset, offset + count); count is clamped to what remains.
+  constexpr Span subspan(size_t offset, size_t count) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_SPAN_H_
