@@ -174,8 +174,9 @@ int RunGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
         }
       }
 
-      // Query latency on the fan-in-2 aggregate.
-      auto aggregator = Aggregator::Create(reduced_fan2.aggregate);
+      // Query latency on the fan-in-2 aggregate (the MergeTreeResult
+      // overload, so a zero-weight aggregate would abort the bench).
+      auto aggregator = Aggregator::Create(reduced_fan2);
       if (!aggregator.ok()) Die("Aggregator::Create", aggregator.status());
       const double query_ms = bench_util::MinMillis(
           [&] {
@@ -207,6 +208,8 @@ int RunGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
                   {"reduce_ms_fan4", reduce_ms[1]},
                   {"reduce_ms_fan8", reduce_ms[2]},
                   {"depth_fan2", static_cast<double>(depth_fan2)},
+                  {"error_levels",
+                   static_cast<double>(reduced_fan2.error_levels)},
                   {"query_us_per_quantile", query_us},
                   {"aggregate_pieces",
                    static_cast<double>(reduced_fan2.aggregate.num_pieces())}});
@@ -388,7 +391,9 @@ int RunStripedGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
                 {"reps", static_cast<double>(reps)},
                 {"ms", best_ms[ci]},
                 {"ingest_msamples_per_s", msamples_per_s},
-                {"speedup_vs_1writer", speedup}});
+                {"speedup_vs_1writer", speedup},
+                {"error_levels",
+                 static_cast<double>(last_snapshot[ci].error_levels)}});
     table.AddRow({TablePrinter::FormatInt(cell.writers),
                   TablePrinter::FormatInt(cell.stripes),
                   TablePrinter::FormatInt(threads_effective),

@@ -75,18 +75,105 @@ StatusOr<Histogram> StreamingHistogramBuilder::FoldBufferIntoSummary(
                          k, options);
 }
 
-StatusOr<Histogram> StreamingHistogramBuilder::FoldedSummary(
-    Span<const int64_t> buffer) const {
-  return FoldBufferIntoSummary(summarized_count_ > 0 ? &summary_ : nullptr,
-                               summarized_count_, buffer, domain_size_, k_,
-                               options_);
+int StreamingHistogramBuilder::ladder_depth() const {
+  for (size_t level = ladder_.size(); level > 0; --level) {
+    if (ladder_[level - 1].count > 0) return static_cast<int>(level);
+  }
+  return 0;
+}
+
+int StreamingHistogramBuilder::ladder_slots() const {
+  int slots = 0;
+  for (const LadderSlot& slot : ladder_) {
+    if (slot.count > 0) ++slots;
+  }
+  return slots;
+}
+
+int StreamingHistogramBuilder::error_levels() const {
+  const int sources = ladder_slots() + (buffer_.empty() ? 0 : 1);
+  if (sources == 0) return 0;
+  // Deepest chain feeding the read fold: the ladder's commit-side depth, or
+  // the single condense the buffered remainder costs.  Chaining more than
+  // one source is one read-side fold pass — one additional level.
+  const int deepest = std::max(ladder_depth(), buffer_.empty() ? 0 : 1);
+  return deepest + (sources > 1 ? 1 : 0);
+}
+
+StatusOr<Histogram> StreamingHistogramBuilder::CommittedSummary() const {
+  if (summarized_count_ == 0) {
+    return Status::Invalid(
+        "StreamingHistogramBuilder: no committed summary yet");
+  }
+  // Fold occupied slots oldest first: the highest level holds the earliest
+  // buffers, so a highest-to-lowest chain keeps stream order left to right.
+  const Histogram* acc = nullptr;
+  int64_t acc_count = 0;
+  Histogram folded;
+  for (size_t level = ladder_.size(); level > 0; --level) {
+    const LadderSlot& slot = ladder_[level - 1];
+    if (slot.count == 0) continue;
+    if (acc == nullptr) {
+      acc = &slot.summary;
+      acc_count = slot.count;
+      continue;
+    }
+    auto merged = MergeHistograms(*acc, static_cast<double>(acc_count),
+                                  slot.summary,
+                                  static_cast<double>(slot.count), k_,
+                                  options_);
+    if (!merged.ok()) return merged.status();
+    folded = std::move(merged).value();
+    acc = &folded;
+    acc_count += slot.count;
+  }
+  if (acc != &folded) folded = *acc;
+  return folded;
+}
+
+StatusOr<Histogram> StreamingHistogramBuilder::FoldedView() const {
+  if (summarized_count_ == 0 && buffer_.empty()) {
+    return Histogram::Create(
+        domain_size_,
+        {{{0, domain_size_}, 1.0 / static_cast<double>(domain_size_)}});
+  }
+  if (summarized_count_ == 0) {
+    return FoldBufferIntoSummary(nullptr, 0, buffer_, domain_size_, k_,
+                                 options_);
+  }
+  auto committed = CommittedSummary();
+  if (!committed.ok()) return committed.status();
+  if (buffer_.empty()) return committed;
+  return FoldBufferIntoSummary(&*committed, summarized_count_, buffer_,
+                               domain_size_, k_, options_);
 }
 
 Status StreamingHistogramBuilder::Flush() {
   if (buffer_.empty()) return Status::Ok();
-  auto folded = FoldedSummary(buffer_);
-  if (!folded.ok()) return folded.status();
-  summary_ = std::move(folded).value();
+  // Condense the buffer to a level-0 summary, then carry it upward like
+  // binary addition: while the target level is occupied, merge the resident
+  // (older, so left operand) summary with the carry and vacate the slot.
+  auto condensed = FoldBufferIntoSummary(nullptr, 0, buffer_, domain_size_,
+                                         k_, options_);
+  if (!condensed.ok()) return condensed.status();
+  Histogram carry = std::move(condensed).value();
+  int64_t carry_count = static_cast<int64_t>(buffer_.size());
+  size_t level = 0;
+  while (level < ladder_.size() && ladder_[level].count > 0) {
+    LadderSlot& slot = ladder_[level];
+    auto merged = MergeHistograms(slot.summary,
+                                  static_cast<double>(slot.count), carry,
+                                  static_cast<double>(carry_count), k_,
+                                  options_);
+    if (!merged.ok()) return merged.status();
+    carry = std::move(merged).value();
+    carry_count += slot.count;
+    slot = LadderSlot{};
+    ++level;
+  }
+  if (level == ladder_.size()) ladder_.emplace_back();
+  ladder_[level].summary = std::move(carry);
+  ladder_[level].count = carry_count;
   summarized_count_ += static_cast<int64_t>(buffer_.size());
   buffer_.clear();
   ++generation_;
@@ -94,23 +181,17 @@ Status StreamingHistogramBuilder::Flush() {
 }
 
 StatusOr<Histogram> StreamingHistogramBuilder::Snapshot() {
+  // Compute the Peek-chain value first, then commit the flush: the dyadic
+  // carry merges associate differently from the read-side fold, so folding
+  // a freshly committed ladder would not be bit-identical to Peek().
+  auto view = FoldedView();
+  if (!view.ok()) return view.status();
   if (Status s = Flush(); !s.ok()) return s;
-  if (summarized_count_ == 0) {
-    return Histogram::Create(
-        domain_size_,
-        {{{0, domain_size_}, 1.0 / static_cast<double>(domain_size_)}});
-  }
-  return summary_;
+  return view;
 }
 
 StatusOr<Histogram> StreamingHistogramBuilder::Peek() const {
-  if (!buffer_.empty()) return FoldedSummary(buffer_);
-  if (summarized_count_ == 0) {
-    return Histogram::Create(
-        domain_size_,
-        {{{0, domain_size_}, 1.0 / static_cast<double>(domain_size_)}});
-  }
-  return summary_;
+  return FoldedView();
 }
 
 }  // namespace fasthist

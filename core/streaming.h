@@ -13,10 +13,20 @@ namespace fasthist {
 
 // Mergeable streaming summary (Section 4 / Lemma 4.2): samples are buffered
 // up to `buffer_capacity`; each full buffer is condensed into a ~2k+1-piece
-// histogram of its empirical distribution and folded into the running
-// summary with a weighted MergeHistograms.  Memory is O(buffer + k)
-// regardless of the stream length, and the summary approximates the
-// empirical distribution of everything ingested so far.
+// histogram of its empirical distribution and committed into a **dyadic
+// condensation ladder** — a vector of level slots where slot L, when
+// occupied, holds the summary of exactly 2^L consecutive buffers.  A freshly
+// condensed buffer enters at level 0 and carries upward like binary
+// addition: while the target level is occupied, the resident summary is
+// merged with the carry (equal sample counts, so the weighted merge is
+// balanced) and the slot is vacated.  After F flushes the occupied slots are
+// the binary digits of F, so any single sample's summary participates in at
+// most ceil(log2 F) committed merges plus the O(1) read-side fold — the
+// sqrt(1+delta)-per-level bound of the mergeability lemma degrades
+// logarithmically with stream length instead of linearly (the pre-ladder
+// builder folded every buffer into one running summary, one merge level per
+// flush).  Memory is O(buffer + k log F) and the exported summary
+// approximates the empirical distribution of everything ingested so far.
 class StreamingHistogramBuilder {
  public:
   // `options` (delta/gamma/num_threads) is applied to every internal
@@ -39,19 +49,21 @@ class StreamingHistogramBuilder {
   // network frames, mmapped columns — without copying into a vector first.
   Status AddMany(Span<const int64_t> samples);
 
-  // Flushes the buffer and returns the current summary as a (mass ~1)
-  // histogram over the domain.  With no samples ingested yet, returns the
-  // uniform distribution.  The builder remains usable afterwards.
+  // Returns the current summary as a (mass ~1) histogram over the domain
+  // and then flushes the buffer into the ladder.  With no samples ingested
+  // yet, returns the uniform distribution.  The builder remains usable
+  // afterwards.  The returned histogram is computed with the same read-side
+  // fold as Peek() *before* the flush commits, so Snapshot() on a copy of a
+  // builder is bit-identical to Peek() on the original — the dyadic commit
+  // reassociates future merges but never changes what this call returns.
   StatusOr<Histogram> Snapshot();
 
-  // Const snapshot: condenses a copy of the buffered samples and folds it
-  // into the running summary without mutating any builder state, so a
-  // reader can export the current summary without forcing a flush (the
-  // ROADMAP "snapshot-without-flush" item; ShardIngestor::ExportSnapshot
-  // is the serving caller).  The returned histogram is bit-identical to
-  // what Snapshot() would return at this point.  Peek never mutates, but
-  // it is not synchronized — callers must serialize it against concurrent
-  // writers (Add/AddMany/Snapshot).
+  // Const snapshot: folds the live ladder slots (oldest/highest level first)
+  // and then the condensed buffered samples, without mutating any builder
+  // state, so a reader can export the current summary without forcing a
+  // flush (ShardIngestor::ExportSnapshot is the serving caller).  Peek
+  // never mutates, but it is not synchronized — callers must serialize it
+  // against concurrent writers (Add/AddMany/Snapshot).
   StatusOr<Histogram> Peek() const;
 
   int64_t num_samples() const {
@@ -62,14 +74,13 @@ class StreamingHistogramBuilder {
   //
   // The builder itself is single-writer and unsynchronized; these hooks are
   // what service/striped_ingestor.h's seqlock protocol is built from.  The
-  // generation counts committed condenses (buffer -> summary folds), so a
+  // generation counts committed condenses (buffer -> ladder commits), so a
   // wrapper can tag everything it republishes for concurrent readers with
   // the generation it was derived from, bracket the builder's mutation
   // window with an odd/even epoch, and detect "a condense happened while I
-  // was reading" as a generation change.  It is also the summary's error-
-  // level count (Lemma 4.2: one lossy condensation per committed fold).
+  // was reading" as a generation change.
 
-  // Committed condenses so far; bumped exactly once per buffer fold
+  // Committed condenses so far; bumped exactly once per buffer commit
   // (Flush with a non-empty buffer), never by Peek.
   uint64_t generation() const { return generation_; }
 
@@ -80,25 +91,60 @@ class StreamingHistogramBuilder {
   int64_t summarized_count() const { return summarized_count_; }
   const MergingOptions& options() const { return options_; }
 
-  // The committed summary (valid iff summarized_count() > 0): what the
-  // condensed stream folds to, with no buffered remainder mixed in.  A
-  // wrapper republishes a copy of this after each condense.
-  const Histogram& summary() const { return summary_; }
+  // --- Error-level accounting (Lemma 4.2) ---------------------------------
+  //
+  // One "level" is one lossy step: a buffer condense, a committed carry
+  // merge, or the read-side fold pass that chains the live slots (and the
+  // buffered remainder) left to right — the same convention as
+  // MergeTreeResult::error_levels and StripedShardIngestor's
+  // kReconcileErrorLevels, so budgets compose additively across layers.
 
-  // The single condense+fold step every summary in this class comes from,
-  // exposed so wrappers can run the exact same computation on state they
-  // manage themselves (e.g. a seqlock-consistent copy read off another
-  // thread's stripe): condenses `buffer` (non-empty, in-domain) to a
-  // ~2k+1-piece histogram and, when `summary` is non-null, folds it in
-  // with weights (summarized_count : buffer.size()).  Pure: no builder
-  // involved, bit-identical to what Peek()/Snapshot() produce from the
-  // same (summary, summarized_count, buffer) state.
+  // 1 + the highest occupied ladder level (0 when nothing is committed):
+  // the deepest commit-side chain any sample has passed through, counting
+  // its initial condense.  After F flushes this is floor(log2 F) + 1.
+  int ladder_depth() const;
+
+  // Occupied ladder slots (the popcount of the flush counter): how many
+  // live summaries the read-side fold has to chain together.
+  int ladder_slots() const;
+
+  // Error levels of the summary Peek()/Snapshot() returns right now:
+  // 0 with no samples at all, otherwise the deepest per-source chain
+  // (max(ladder_depth, 1-if-buffered)) plus 1 when the read fold has more
+  // than one source to chain.  After F = n/b flushes with an empty buffer
+  // this is at most ceil(log2 F) + 2, and it never exceeds that while
+  // samples sit buffered.
+  int error_levels() const;
+
+  // The committed ladder folded to a single histogram (valid only when
+  // summarized_count() > 0): live slots chained oldest (highest level)
+  // first, with no buffered remainder mixed in.  This is the exact prefix
+  // of the Peek() fold, so a wrapper that republishes it and later folds a
+  // buffer copy in with FoldBufferIntoSummary reproduces Peek()
+  // bit-identically (the striped ingestor's export path).
+  StatusOr<Histogram> CommittedSummary() const;
+
+  // The condense+fold step the read path is built from, exposed so wrappers
+  // can run the exact same computation on state they manage themselves
+  // (e.g. a seqlock-consistent copy read off another thread's stripe):
+  // condenses `buffer` (non-empty, in-domain) to a ~2k+1-piece histogram
+  // and, when `summary` is non-null, folds it in with weights
+  // (summarized_count : buffer.size()).  Pure: no builder involved,
+  // bit-identical to what Peek()/Snapshot() produce from the same
+  // (CommittedSummary, summarized_count, buffer) state.
   static StatusOr<Histogram> FoldBufferIntoSummary(
       const Histogram* summary, int64_t summarized_count,
       Span<const int64_t> buffer, int64_t domain_size, int64_t k,
       const MergingOptions& options);
 
  private:
+  // One ladder slot: `count == 0` means vacant, otherwise `summary` holds
+  // the condensation of `count` samples (2^level buffers' worth).
+  struct LadderSlot {
+    Histogram summary;
+    int64_t count = 0;
+  };
+
   StreamingHistogramBuilder(int64_t domain_size, int64_t k,
                             size_t buffer_capacity,
                             const MergingOptions& options)
@@ -111,22 +157,21 @@ class StreamingHistogramBuilder {
 
   Status Flush();
 
-  // The summary that results from folding `buffer` (non-empty) into the
-  // current (summary_, summarized_count_) state, with no mutation.  Flush
-  // commits the result; Peek returns and discards it — sharing the exact
-  // computation (FoldBufferIntoSummary) is what keeps Peek() == Snapshot()
-  // bit-identical, and the striped ingestor's exports bit-identical to a
-  // per-stripe serial replay.
-  StatusOr<Histogram> FoldedSummary(Span<const int64_t> buffer) const;
+  // The Peek() computation: fold the live ladder slots highest level first,
+  // then chain the condensed buffer in.  Snapshot() returns this value
+  // computed *before* its Flush commits, which is what keeps Peek() ==
+  // Snapshot() bit-identical, and the striped ingestor's exports
+  // bit-identical to a per-stripe serial replay.
+  StatusOr<Histogram> FoldedView() const;
 
   int64_t domain_size_;
   int64_t k_;
   size_t buffer_capacity_;
   MergingOptions options_;
   std::vector<int64_t> buffer_;
-  Histogram summary_;             // valid iff summarized_count_ > 0
-  int64_t summarized_count_ = 0;  // samples already folded into summary_
-  uint64_t generation_ = 0;       // committed condenses (see generation())
+  std::vector<LadderSlot> ladder_;  // index = level; slot L covers 2^L buffers
+  int64_t summarized_count_ = 0;    // samples already committed to the ladder
+  uint64_t generation_ = 0;         // committed condenses (see generation())
 };
 
 }  // namespace fasthist

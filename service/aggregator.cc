@@ -19,9 +19,10 @@ StatusOr<Aggregator> Aggregator::Create(Histogram summary,
   prefix_mass.push_back(0.0);
   for (const HistogramPiece& piece : summary.pieces()) {
     // A distribution summary must be non-negative and finite; anything else
-    // (possible in a structurally-valid but hostile wire blob — the codec
-    // validates structure, not the value plane) would make prefix_mass_
-    // non-monotone and break every query's binary search.
+    // would make prefix_mass_ non-monotone and break every query's binary
+    // search.  (DecodeHistogram now rejects hostile value planes at the
+    // codec boundary too; this check keeps locally-constructed summaries
+    // honest as well.)
     if (!(std::isfinite(piece.value) && piece.value >= 0.0)) {
       return Status::Invalid(
           "Aggregator: piece values must be finite and non-negative");
@@ -34,6 +35,20 @@ StatusOr<Aggregator> Aggregator::Create(Histogram summary,
     return Status::Invalid("Aggregator: summary must carry positive mass");
   }
   return Aggregator(std::move(summary), error_budget, std::move(prefix_mass));
+}
+
+StatusOr<Aggregator> Aggregator::Create(const MergeTreeResult& reduction,
+                                        double per_level_error) {
+  if (!(reduction.total_weight > 0.0)) {
+    return Status::Invalid(
+        "Aggregator: aggregate summarizes zero samples — an idle fleet has "
+        "no distribution to serve");
+  }
+  if (!(per_level_error >= 0.0)) {
+    return Status::Invalid("Aggregator: per_level_error must be >= 0");
+  }
+  return Create(reduction.aggregate,
+                per_level_error * static_cast<double>(reduction.error_levels));
 }
 
 size_t Aggregator::PieceIndexOf(int64_t x) const {

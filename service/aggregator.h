@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dist/histogram.h"
+#include "service/merge_tree.h"
 #include "util/status.h"
 
 namespace fasthist {
@@ -30,6 +31,17 @@ class Aggregator {
   // mass-error term echoed into every error bar.
   static StatusOr<Aggregator> Create(Histogram summary,
                                      double error_budget = 0.0);
+
+  // The serving constructor: wraps a reduction result, rejecting aggregates
+  // that summarize zero samples.  An all-idle fleet reduces to a fabricated
+  // uniform summary with total_weight == 0 (see ReduceSnapshots) — it is a
+  // valid histogram, so the raw overload above would happily serve
+  // Quantile(0.99) from data that does not exist.  `per_level_error` (>= 0)
+  // is the caller's per-condensation error bound; the budget echoed into
+  // every error bar is per_level_error * reduction.error_levels, the
+  // Lemma-4.2 end-to-end accounting.
+  static StatusOr<Aggregator> Create(const MergeTreeResult& reduction,
+                                     double per_level_error = 0.0);
 
   const Histogram& histogram() const { return summary_; }
   double error_budget() const { return error_budget_; }

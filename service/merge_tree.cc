@@ -24,6 +24,7 @@ StatusOr<MergeTreeResult> ReduceSummaries(std::vector<ShardSummary> summaries,
     return Status::Invalid("ReduceSummaries: k must be >= 1");
   }
   const int64_t domain_size = summaries.front().histogram.domain_size();
+  int max_input_levels = 1;
   for (const ShardSummary& summary : summaries) {
     if (summary.histogram.domain_size() != domain_size) {
       return Status::Invalid("ReduceSummaries: summaries must share a domain");
@@ -31,6 +32,7 @@ StatusOr<MergeTreeResult> ReduceSummaries(std::vector<ShardSummary> summaries,
     if (!(summary.weight > 0.0)) {
       return Status::Invalid("ReduceSummaries: weights must be positive");
     }
+    max_input_levels = std::max(max_input_levels, summary.error_levels);
   }
 
   // Same oversubscription guard as the merge engine: more threads than
@@ -81,7 +83,10 @@ StatusOr<MergeTreeResult> ReduceSummaries(std::vector<ShardSummary> summaries,
 
   result.aggregate = std::move(current.front().histogram);
   result.total_weight = current.front().weight;
-  result.error_levels = result.depth + 1;
+  // Tree levels on top of the deepest upstream chain: each input already
+  // accounts for its own condenses (floored at 1 for legacy one-condense
+  // summaries), and every tree level adds one more lossy merge.
+  result.error_levels = result.depth + max_input_levels;
   return result;
 }
 
@@ -103,13 +108,36 @@ StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
     return Status::Invalid("ReduceSnapshots: k must be >= 1");
   }
   // Canonical leaf order: the reduction must not depend on which shard's
-  // snapshot happened to arrive first.  num_samples and the raw bytes break
-  // ties so even duplicate shard ids reduce deterministically.
+  // snapshot happened to arrive first.  num_samples, error_levels, and the
+  // raw bytes break ties so duplicate shard ids sort adjacently and
+  // deterministically.
   std::sort(snapshots.begin(), snapshots.end(),
             [](const ShardSnapshot& a, const ShardSnapshot& b) {
-              return std::tie(a.shard_id, a.num_samples, a.encoded_histogram) <
-                     std::tie(b.shard_id, b.num_samples, b.encoded_histogram);
+              return std::tie(a.shard_id, a.num_samples, a.error_levels,
+                              a.encoded_histogram) <
+                     std::tie(b.shard_id, b.num_samples, b.error_levels,
+                              b.encoded_histogram);
             });
+  // Idempotent delivery: a retransmitted snapshot (same shard, same bytes)
+  // must not double-count, and two *different* snapshots claiming the same
+  // shard_id is an upstream bug — there is no correct way to merge both.
+  // After the sort duplicates are adjacent, so one linear pass settles it.
+  size_t kept = 0;
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    if (kept > 0 && snapshots[kept - 1].shard_id == snapshots[i].shard_id) {
+      if (snapshots[kept - 1].num_samples == snapshots[i].num_samples &&
+          snapshots[kept - 1].error_levels == snapshots[i].error_levels &&
+          snapshots[kept - 1].encoded_histogram ==
+              snapshots[i].encoded_histogram) {
+        continue;  // byte-identical retransmit: drop the extra copy
+      }
+      return Status::Invalid(
+          "ReduceSnapshots: conflicting snapshots for one shard_id");
+    }
+    if (kept != i) snapshots[kept] = std::move(snapshots[i]);
+    ++kept;
+  }
+  snapshots.resize(kept);
 
   // Empty shards carry no mass, so their snapshots are skipped *before*
   // decoding — a fleet where most shards are idle pays only for the shards
@@ -130,8 +158,11 @@ StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
     }
     auto histogram = DecodeHistogram(snapshot.encoded_histogram);
     if (!histogram.ok()) return histogram.status();
+    // Floor at 1: a pre-ladder (or hand-built) snapshot that never set the
+    // field still condensed its samples at least once.
     summaries.push_back(ShardSummary{std::move(histogram).value(),
-                                     static_cast<double>(snapshot.num_samples)});
+                                     static_cast<double>(snapshot.num_samples),
+                                     std::max(1, snapshot.error_levels)});
   }
   if (summaries.empty()) {
     // Every shard was empty: the aggregate is the shards' common empty-state

@@ -29,10 +29,13 @@ namespace fasthist {
 // `error_levels` — aggregates.
 
 // A decoded shard summary: the histogram plus its merge weight (the
-// number of samples it condenses).
+// number of samples it condenses) and the Lemma-4.2 error levels already
+// spent producing it (condenses + merges upstream of the reducer; 1 for a
+// plain one-condense summary).
 struct ShardSummary {
   Histogram histogram;
   double weight = 0.0;
+  int error_levels = 1;
 };
 
 struct MergeTreeOptions {
@@ -58,10 +61,15 @@ struct MergeTreeResult {
   // Additive error accounting (Lemma 4.2): the L2 error of `aggregate`
   // against the pooled empirical distribution is bounded by the weighted
   // mean of the per-shard summary errors plus one k-piece condensation
-  // error per tree level — `error_levels = depth + 1` additive terms in
-  // total (the +1 is the per-shard condense at ingest).  Deeper trees
-  // spend more of the error budget; this field is the number a caller
-  // multiplies its per-condense bound by.
+  // error per tree level — `error_levels = depth + max(input error_levels)`
+  // additive terms in total, where each input's own count covers its
+  // upstream condenses (a plain one-condense summary reports 1; a
+  // long-running shard reports its dyadic-ladder depth, see
+  // StreamingHistogramBuilder::error_levels, so the end-to-end count stays
+  // O(log stream length + log shards)).  Deeper trees spend more of the
+  // error budget; this field is the number a caller multiplies its
+  // per-condense bound by (Aggregator::Create's per-level overload does
+  // exactly that).
   int error_levels = 0;
 };
 
@@ -74,12 +82,19 @@ StatusOr<MergeTreeResult> ReduceSummaries(
     const MergeTreeOptions& options = MergeTreeOptions());
 
 // Decodes wire snapshots and reduces them.  Snapshots are first sorted by
-// (shard_id, num_samples, bytes) — a canonical leaf order, so the result
-// is bit-identical regardless of arrival order.  Shards with zero samples
-// carry no mass and are skipped before their payload is even decoded (an
-// idle fleet costs nothing per empty shard); if every shard is empty the
-// aggregate is the first empty shard's decoded (uniform) summary with
-// total_weight 0.
+// (shard_id, num_samples, error_levels, bytes) — a canonical leaf order,
+// so the result is bit-identical regardless of arrival order.  Snapshots
+// sharing a shard_id are then deduplicated: byte-identical duplicates are
+// retransmits and all but one copy is dropped (idempotent delivery — a
+// retried push cannot double-count a shard), while same-id snapshots with
+// differing payloads are rejected as Invalid (two distinct claims about
+// one shard means an upstream bug; silently merging both would
+// double-count).  Shards with zero samples carry no mass and are skipped
+// before their payload is even decoded (an idle fleet costs nothing per
+// empty shard); if every shard is empty the aggregate is the first empty
+// shard's decoded (uniform) summary with total_weight 0 — a caller must
+// check total_weight (or use Aggregator::Create's MergeTreeResult
+// overload, which rejects it) before serving quantiles from it.
 StatusOr<MergeTreeResult> ReduceSnapshots(
     std::vector<ShardSnapshot> snapshots, int64_t k,
     const MergeTreeOptions& options = MergeTreeOptions());

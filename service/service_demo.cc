@@ -99,7 +99,9 @@ int Run(int argc, char** argv) {
               reduced->aggregate.num_pieces(), reduced->total_weight);
 
   // Query: quantiles from the aggregate vs the exact pooled-sample answer.
-  auto aggregator = Aggregator::Create(reduced->aggregate);
+  // The MergeTreeResult overload rejects a zero-sample aggregate, so an
+  // all-idle fleet fails loudly here instead of serving fabricated numbers.
+  auto aggregator = Aggregator::Create(*reduced);
   if (!aggregator.ok()) return 1;
   std::sort(pooled.begin(), pooled.end());
   TablePrinter table({"q", "served", "exact", "|diff|"});

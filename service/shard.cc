@@ -24,6 +24,9 @@ StatusOr<ShardSnapshot> ShardIngestor::ExportSnapshot() const {
   ShardSnapshot snapshot;
   snapshot.shard_id = shard_id_;
   snapshot.num_samples = builder_.num_samples();
+  // The ladder accounting for exactly the summary Peek just folded: 0 when
+  // idle, O(log flushes) + 1 read-fold level otherwise.
+  snapshot.error_levels = builder_.error_levels();
   snapshot.encoded_histogram = EncodeHistogram(*summary);
   return snapshot;
 }

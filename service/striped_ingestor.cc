@@ -62,7 +62,21 @@ struct StripeCut {
   std::vector<HistogramPiece> pieces;
   int64_t published = 0;
   std::vector<int64_t> window;
+  // The builder's ladder accounting as of the same cut (see
+  // StreamingHistogramBuilder::ladder_depth/ladder_slots).
+  int ladder_depth = 0;
+  int ladder_slots = 0;
 };
+
+// StreamingHistogramBuilder::error_levels, recomputed from a cut: the
+// published planes hold the folded ladder (depth/slots describe how it was
+// built), and the window copy plays the buffered remainder's role.
+int CutErrorLevels(const StripeCut& cut) {
+  const int sources = cut.ladder_slots + (cut.window.empty() ? 0 : 1);
+  if (sources == 0) return 0;
+  const int deepest = std::max(cut.ladder_depth, cut.window.empty() ? 0 : 1);
+  return deepest + (sources > 1 ? 1 : 0);
+}
 
 }  // namespace
 
@@ -106,6 +120,10 @@ struct alignas(kCacheLineBytes) StripedShardIngestor::Stripe {
   PaddedAtomic<int64_t> published_count{};
   // Pieces in the published planes; 0 until the first condense.
   std::atomic<int64_t> plane_pieces{0};
+  // Ladder accounting of the builder state the planes were folded from
+  // (seqlock-protected like the planes; republished per condense).
+  std::atomic<int32_t> ladder_depth{0};
+  std::atomic<int32_t> ladder_slots{0};
 
   std::unique_ptr<std::atomic<int64_t>[]> window;
   std::unique_ptr<std::atomic<int64_t>[]> plane_ends;
@@ -133,6 +151,8 @@ StripeCut StripedShardIngestor::Stripe::ReadCut(size_t window_capacity,
         cut.pieces.push_back({{begin, end}, value});
         begin = end;
       }
+      cut.ladder_depth = static_cast<int>(ladder_depth.load(kRelaxed));
+      cut.ladder_slots = static_cast<int>(ladder_slots.load(kRelaxed));
       int64_t count = window_count.value.load(std::memory_order_acquire);
       if (count > static_cast<int64_t>(window_capacity)) {
         count = static_cast<int64_t>(window_capacity);
@@ -317,8 +337,17 @@ Status StripedShardIngestor::CondenseStripe(Stripe& stripe) {
     return s;
   }
 
-  const Histogram& summary = stripe.builder.summary();
-  const auto& pieces = summary.pieces();
+  // Publish the *folded* ladder: readers get one histogram regardless of
+  // how many slots are live, so the planes stay fixed-capacity
+  // (MaxSurvivingPieces bounds any MergeHistograms output) and the export's
+  // FoldBufferIntoSummary over it reproduces Peek's chain bit-identically.
+  auto summary = stripe.builder.CommittedSummary();
+  if (!summary.ok()) {
+    stripe.poisoned.store(true, kRelaxed);
+    EndStripeMutation(stripe.epoch.value, e);
+    return summary.status();
+  }
+  const auto& pieces = summary->pieces();
   for (size_t p = 0; p < pieces.size(); ++p) {
     stripe.plane_ends[p].store(pieces[p].interval.end, kRelaxed);
     uint64_t bits;
@@ -326,7 +355,9 @@ Status StripedShardIngestor::CondenseStripe(Stripe& stripe) {
     std::memcpy(&bits, &pieces[p].value, sizeof(bits));
     stripe.plane_values[p].store(bits, kRelaxed);
   }
-  stripe.plane_pieces.store(summary.num_pieces(), kRelaxed);
+  stripe.plane_pieces.store(summary->num_pieces(), kRelaxed);
+  stripe.ladder_depth.store(stripe.builder.ladder_depth(), kRelaxed);
+  stripe.ladder_slots.store(stripe.builder.ladder_slots(), kRelaxed);
   stripe.published_count.value.store(stripe.builder.summarized_count(),
                                      kRelaxed);
   stripe.window_count.value.store(0, kRelaxed);
@@ -360,7 +391,8 @@ StatusOr<ShardSnapshot> StripedShardIngestor::ExportSnapshot() const {
       summary = std::move(folded).value();
     }
     total += count;
-    summaries.push_back({std::move(summary), static_cast<double>(count)});
+    summaries.push_back(
+        {std::move(summary), static_cast<double>(count), CutErrorLevels(cut)});
   }
 
   ShardSnapshot snapshot;
@@ -369,6 +401,7 @@ StatusOr<ShardSnapshot> StripedShardIngestor::ExportSnapshot() const {
   if (summaries.empty()) {
     auto uniform = UniformHistogram(domain_size_);  // same as an empty Peek
     if (!uniform.ok()) return uniform.status();
+    snapshot.error_levels = 0;  // fabricated, not condensed from samples
     snapshot.encoded_histogram = EncodeHistogram(*uniform);
     return snapshot;
   }
@@ -381,6 +414,9 @@ StatusOr<ShardSnapshot> StripedShardIngestor::ExportSnapshot() const {
   reconcile.merging = options_;
   auto reduced = ReduceSummaries(std::move(summaries), k_, reconcile);
   if (!reduced.ok()) return reduced.status();
+  // depth (0 or kReconcileErrorLevels) + the deepest stripe's own ladder
+  // accounting — the end-to-end Lemma-4.2 count for this snapshot.
+  snapshot.error_levels = reduced->error_levels;
   snapshot.encoded_histogram = EncodeHistogram(reduced->aggregate);
   return snapshot;
 }

@@ -52,8 +52,12 @@ namespace fasthist {
 //     bit-identical to a serial replay of the per-stripe streams — no
 //     matter how writer threads interleaved or how many exports ran
 //     concurrently.  The reconcile costs exactly one extra merge level of
-//     error on top of each stripe's own condenses, accounted the same way
-//     as merge-tree levels (MergeTreeResult::error_levels).
+//     error on top of each stripe's own levels, accounted the same way as
+//     merge-tree levels (MergeTreeResult::error_levels).  Each stripe's
+//     own count is its builder's dyadic-ladder accounting — O(log flushes)
+//     rather than one level per flush, see StreamingHistogramBuilder::
+//     error_levels — and the exported snapshot carries the end-to-end
+//     total in ShardSnapshot::error_levels.
 class StripedShardIngestor {
  public:
   // A claimed stripe: the handle through which exactly one thread appends.
@@ -139,8 +143,10 @@ class StripedShardIngestor {
 
   // The reconcile's error accounting: folding S stripe summaries through
   // one ReduceSummaries level costs one extra merge level on top of each
-  // stripe's own condense levels — the caller adds this to its per-stripe
-  // error budget exactly like one merge-tree level.
+  // stripe's own ladder levels — the caller adds this to its per-stripe
+  // error budget exactly like one merge-tree level.  (ExportSnapshot does
+  // the addition itself: snapshot.error_levels = max over contributing
+  // stripes' ladder accounting, plus this when more than one contributed.)
   static constexpr int kReconcileErrorLevels = 1;
 
  private:

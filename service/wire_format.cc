@@ -1,5 +1,6 @@
 #include "service/wire_format.h"
 
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -9,8 +10,13 @@ namespace {
 // "FHh1" / "FHs1" as they appear on the wire (little-endian u32).
 constexpr uint32_t kHistogramMagic = 0x31684846;
 constexpr uint32_t kSnapshotMagic = 0x31734846;
-constexpr uint32_t kWireVersion = 1;
+constexpr uint32_t kHistogramVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;  // v2 added error_levels
 constexpr size_t kBytesPerPiece = 16;  // one int64 end + one double value
+
+// Any honest error_levels is tiny (ladder depth + reconcile + tree depth);
+// a huge value is a corrupt or hostile envelope, not a deep pipeline.
+constexpr int64_t kMaxErrorLevels = 1 << 20;
 
 void AppendU32(std::vector<uint8_t>* out, uint32_t value) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -99,7 +105,7 @@ std::vector<uint8_t> EncodeHistogram(const Histogram& histogram) {
   std::vector<uint8_t> out;
   out.reserve(24 + kBytesPerPiece * num_pieces);
   AppendU32(&out, kHistogramMagic);
-  AppendU32(&out, kWireVersion);
+  AppendU32(&out, kHistogramVersion);
   AppendI64(&out, histogram.domain_size());
   AppendI64(&out, static_cast<int64_t>(num_pieces));
   for (const HistogramPiece& piece : histogram.pieces()) {
@@ -129,7 +135,7 @@ StatusOr<Histogram> DecodeHistogram(const uint8_t* data, size_t size) {
   if (!reader.ReadU32(&version)) {
     return Status::Invalid("DecodeHistogram: truncated header");
   }
-  if (version != kWireVersion) {
+  if (version != kHistogramVersion) {
     return Status::Invalid("DecodeHistogram: unsupported version");
   }
   if (!reader.ReadI64(&domain_size) || !reader.ReadI64(&num_pieces)) {
@@ -171,17 +177,25 @@ StatusOr<Histogram> DecodeHistogram(const uint8_t* data, size_t size) {
     if (!reader.ReadDouble(&piece.value)) {
       return Status::Invalid("DecodeHistogram: truncated piece planes");
     }
+    // Value-plane validation: densities are finite and non-negative by
+    // construction, so NaN/Inf/negative here is corruption (or hostility),
+    // caught at the trust boundary instead of deep inside a later merge.
+    if (!std::isfinite(piece.value) || piece.value < 0.0) {
+      return Status::Invalid(
+          "DecodeHistogram: piece values must be finite and non-negative");
+    }
   }
   return Histogram::Create(domain_size, std::move(pieces));
 }
 
 std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot) {
   std::vector<uint8_t> out;
-  out.reserve(32 + snapshot.encoded_histogram.size());
+  out.reserve(40 + snapshot.encoded_histogram.size());
   AppendU32(&out, kSnapshotMagic);
-  AppendU32(&out, kWireVersion);
+  AppendU32(&out, kSnapshotVersion);
   AppendU64(&out, snapshot.shard_id);
   AppendI64(&out, snapshot.num_samples);
+  AppendI64(&out, static_cast<int64_t>(snapshot.error_levels));
   AppendU64(&out, static_cast<uint64_t>(snapshot.encoded_histogram.size()));
   out.insert(out.end(), snapshot.encoded_histogram.begin(),
              snapshot.encoded_histogram.end());
@@ -206,16 +220,22 @@ StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size) {
   if (!reader.ReadU32(&version)) {
     return Status::Invalid("DecodeShardSnapshot: truncated header");
   }
-  if (version != kWireVersion) {
+  if (version != kSnapshotVersion) {
     return Status::Invalid("DecodeShardSnapshot: unsupported version");
   }
+  int64_t error_levels = 0;
   if (!reader.ReadU64(&snapshot.shard_id) ||
-      !reader.ReadI64(&snapshot.num_samples) || !reader.ReadU64(&blob_size)) {
+      !reader.ReadI64(&snapshot.num_samples) ||
+      !reader.ReadI64(&error_levels) || !reader.ReadU64(&blob_size)) {
     return Status::Invalid("DecodeShardSnapshot: truncated header");
   }
   if (snapshot.num_samples < 0) {
     return Status::Invalid("DecodeShardSnapshot: negative sample count");
   }
+  if (error_levels < 0 || error_levels > kMaxErrorLevels) {
+    return Status::Invalid("DecodeShardSnapshot: error_levels out of range");
+  }
+  snapshot.error_levels = static_cast<int>(error_levels);
   if (blob_size != reader.remaining()) {
     return Status::Invalid("DecodeShardSnapshot: blob size mismatch");
   }

@@ -30,10 +30,13 @@ namespace fasthist {
 //
 // Encoding is total: every valid Histogram encodes.  Decoding is
 // bounds-checked end to end and reports corruption — truncation, bad
-// magic/version, piece-count overflow, non-monotone ends, trailing bytes —
-// as a non-OK Status, never UB or a crash.  Round-trips are exact:
-// DecodeHistogram(EncodeHistogram(h)) reproduces the intervals and the
-// value bits identically.
+// magic/version, piece-count overflow, non-monotone ends, trailing bytes,
+// and non-finite or negative piece values (a hostile value plane would
+// otherwise poison every merge and query downstream; densities are
+// non-negative by construction, so the codec boundary rejects them) — as a
+// non-OK Status, never UB or a crash.  Round-trips are exact for every
+// histogram the library produces: DecodeHistogram(EncodeHistogram(h))
+// reproduces the intervals and the value bits identically.
 
 std::vector<uint8_t> EncodeHistogram(const Histogram& histogram);
 
@@ -50,12 +53,21 @@ inline StatusOr<Histogram> DecodeHistogram(const std::vector<uint8_t>& bytes) {
 struct ShardSnapshot {
   uint64_t shard_id = 0;
   int64_t num_samples = 0;  // merge weight of this summary
+  // Lemma-4.2 error levels already spent producing `encoded_histogram`
+  // (condenses + merges on the shard: the builder's dyadic ladder depth
+  // plus the striped reconcile, see StreamingHistogramBuilder::
+  // error_levels).  The reducer adds its own tree depth on top, so
+  // MergeTreeResult::error_levels stays an honest end-to-end count.
+  // 0 only for a no-data snapshot (num_samples == 0).
+  int error_levels = 0;
   std::vector<uint8_t> encoded_histogram;
 };
 
-// Envelope layout (version 1): magic "FHs1", version, shard_id (u64),
-// num_samples (int64, >= 0), histogram blob size (u64), blob.  Decoding
-// validates the envelope and the embedded histogram.
+// Envelope layout (version 2): magic "FHs1", version (= 2), shard_id (u64),
+// num_samples (int64, >= 0), error_levels (int64, >= 0), histogram blob
+// size (u64), blob.  Decoding validates the envelope and the embedded
+// histogram; version-1 envelopes (no error_levels field) are rejected as
+// unsupported — a silent default would under-report the error budget.
 std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot);
 
 StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size);

@@ -1,0 +1,52 @@
+# Schema check for the committed service benchmark results.  Fails when any
+# record in the JSON drops a field downstream consumers key on — so a
+# regenerated BENCH_service.json with a narrower schema fails ctest (and all
+# five CI jobs) before it lands.
+#
+# Inputs (via -D):
+#   BENCH_JSON       path to the benchmark JSON (top-level "records" array)
+#   REQUIRED_FIELDS  comma-separated member names every record must define
+#
+# Uses string(JSON), available since CMake 3.19.
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED BENCH_JSON OR NOT DEFINED REQUIRED_FIELDS)
+  message(FATAL_ERROR "check_bench_schema: BENCH_JSON and REQUIRED_FIELDS "
+                      "must be passed with -D")
+endif()
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR "check_bench_schema: missing results file ${BENCH_JSON}")
+endif()
+
+file(READ "${BENCH_JSON}" contents)
+string(JSON num_records ERROR_VARIABLE json_error LENGTH "${contents}" records)
+if(json_error)
+  message(FATAL_ERROR
+          "check_bench_schema: ${BENCH_JSON} has no 'records' array: "
+          "${json_error}")
+endif()
+if(num_records EQUAL 0)
+  message(FATAL_ERROR "check_bench_schema: ${BENCH_JSON} has zero records")
+endif()
+
+string(REPLACE "," ";" fields "${REQUIRED_FIELDS}")
+math(EXPR last_record "${num_records} - 1")
+foreach(i RANGE ${last_record})
+  string(JSON record_name ERROR_VARIABLE json_error
+         GET "${contents}" records ${i} name)
+  if(json_error)
+    set(record_name "#${i}")
+  endif()
+  foreach(field IN LISTS fields)
+    string(JSON value ERROR_VARIABLE json_error
+           GET "${contents}" records ${i} ${field})
+    if(json_error)
+      message(FATAL_ERROR
+              "check_bench_schema: record '${record_name}' in ${BENCH_JSON} "
+              "is missing required field '${field}'")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "check_bench_schema: ${num_records} records in ${BENCH_JSON} "
+               "carry [${REQUIRED_FIELDS}]")

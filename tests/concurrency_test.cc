@@ -46,7 +46,7 @@ std::vector<int64_t> RandomStream(uint64_t seed, size_t count) {
 // stripe-id order through one ReduceSummaries level.  Rebuilding it here
 // from first principles is what makes the bit-identity tests a spec, not a
 // tautology.
-Histogram SerialReplayAggregate(
+MergeTreeResult SerialReplayReduction(
     const std::vector<std::vector<int64_t>>& per_stripe_streams) {
   std::vector<ShardSummary> summaries;
   for (const auto& stream : per_stripe_streams) {
@@ -56,8 +56,9 @@ Histogram SerialReplayAggregate(
     CHECK(builder->AddMany(stream).ok());
     auto peek = builder->Peek();
     CHECK_OK(peek);
-    summaries.push_back(
-        {std::move(peek).value(), static_cast<double>(stream.size())});
+    summaries.push_back({std::move(peek).value(),
+                         static_cast<double>(stream.size()),
+                         builder->error_levels()});
   }
   CHECK(!summaries.empty());
   MergeTreeOptions reconcile;
@@ -65,7 +66,12 @@ Histogram SerialReplayAggregate(
       summaries.size() < 2 ? 2 : static_cast<int>(summaries.size());
   auto reduced = ReduceSummaries(std::move(summaries), kK, reconcile);
   CHECK_OK(reduced);
-  return reduced->aggregate;
+  return std::move(reduced).value();
+}
+
+Histogram SerialReplayAggregate(
+    const std::vector<std::vector<int64_t>>& per_stripe_streams) {
+  return SerialReplayReduction(per_stripe_streams).aggregate;
 }
 
 TEST(StripedSerialReplayBitIdentity) {
@@ -110,12 +116,18 @@ TEST(StripedSerialReplayBitIdentity) {
   CHECK(snapshot->num_samples == static_cast<int64_t>(stream.size()));
   auto decoded = DecodeHistogram(snapshot->encoded_histogram);
   CHECK_OK(decoded);
-  CHECK(BitIdentical(*decoded, SerialReplayAggregate(per_stripe)));
+  const MergeTreeResult replay = SerialReplayReduction(per_stripe);
+  CHECK(BitIdentical(*decoded, replay.aggregate));
+  // The ladder accounting replays exactly too: each stripe's cut reports
+  // the same levels a serial builder over that stream would, and the
+  // reconcile fold adds the same depth.
+  CHECK(snapshot->error_levels == replay.error_levels);
 
   // A second export with no intervening writes is byte-identical.
   auto again = (*striped)->ExportSnapshot();
   CHECK_OK(again);
   CHECK(again->encoded_histogram == snapshot->encoded_histogram);
+  CHECK(again->error_levels == snapshot->error_levels);
 }
 
 TEST(StripedWriterLifecycleAndExhaustion) {

@@ -20,9 +20,11 @@
 #include "baseline/exact_poly_dp.h"
 #include "core/fast_merging.h"
 #include "core/merging.h"
+#include "core/streaming.h"
 #include "dist/empirical.h"
 #include "poly/poly_merging.h"
 #include "tests/fasthist_test.h"
+#include "tests/histogram_testutil.h"
 #include "util/parallel.h"
 #include "util/random.h"
 
@@ -545,6 +547,246 @@ TEST(StripedReconciliationWithinSqrtOnePlusDeltaBound) {
                       weighted_err + 1e-7);
           }
         }
+      }
+    }
+  }
+}
+
+TEST(StreamingLadderDriftBoundOverThousandsOfFlushes) {
+  // The dyadic condensation ladder's drift guarantee at stream scale: over
+  // F = 4096 flushes, a mirror ladder tracks every lossy step with measured
+  // errors and triangle-inequality accounting, and the commit-side drift
+  // budget closes at O(log F) — not the O(F) a linear fold chain pays.
+  //
+  // The accounting: the builder's summary differs from the pooled empirical
+  // by at most
+  //     B  =  sum_leaves w_l * e_l  +  sum_merges w_m * c_m,
+  // where e_l is the measured leaf condense error, c_m the measured carry
+  // merge error against its input mixture, and the w are sample-count
+  // fractions.  In the ladder every sample ascends at most one merge per
+  // level, so sum_m w_m == ladder depth (exactly log2 F for F a power of
+  // two) and the merge budget is depth * max_m c_m.  In the pre-ladder
+  // linear chain sum_m w_m was ~F/2.
+  const int64_t domain = 256;
+  const int64_t k = 8;
+  const size_t b = 32;
+  const int64_t flushes = 4096;  // 2^12: the ladder ends as one level-12 slot
+  const int64_t n = flushes * static_cast<int64_t>(b);
+  const MergingOptions options{0.5, 1.0};
+
+  auto builder = StreamingHistogramBuilder::Create(domain, k, b, options);
+  CHECK_OK(builder);
+
+  const auto dense = [&](const Histogram& h) {
+    std::vector<double> d(static_cast<size_t>(domain));
+    for (int64_t x = 0; x < domain; ++x) {
+      d[static_cast<size_t>(x)] = h.ValueAt(x);
+    }
+    return d;
+  };
+  const auto l2 = [](const std::vector<double>& a,
+                     const std::vector<double>& c) {
+    double err_sq = 0.0;
+    for (size_t x = 0; x < a.size(); ++x) {
+      const double diff = a[x] - c[x];
+      err_sq += diff * diff;
+    }
+    return std::sqrt(err_sq);
+  };
+
+  struct MirrorSlot {
+    Histogram h;
+    int64_t count = 0;
+    double bound = 0.0;  // accumulated error bound vs this slot's samples
+  };
+  std::vector<MirrorSlot> ladder;
+  std::vector<double> pooled(static_cast<size_t>(domain), 0.0);
+  std::vector<int64_t> buffer;
+  Rng rng(0x1add'e700);
+  double leaf_budget = 0.0;     // sum_l w_l * e_l
+  double merge_weight = 0.0;    // sum_m w_m
+  double max_merge_err = 0.0;   // max_m c_m
+
+  for (int64_t f = 0; f < flushes; ++f) {
+    // One exact buffer per iteration, drawn from a skewed two-step
+    // distribution so the summaries are non-trivial.
+    buffer.clear();
+    std::vector<double> pmf(static_cast<size_t>(domain), 0.0);
+    for (size_t i = 0; i < b; ++i) {
+      const int64_t sample = rng.UniformInt(2) == 0
+                                 ? rng.UniformInt(domain / 4)
+                                 : rng.UniformInt(domain);
+      buffer.push_back(sample);
+      pmf[static_cast<size_t>(sample)] += 1.0 / static_cast<double>(b);
+      pooled[static_cast<size_t>(sample)] += 1.0 / static_cast<double>(n);
+    }
+    CHECK(builder->AddMany(buffer).ok());
+
+    // Mirror the flush: condense, then carry upward like binary addition,
+    // measuring each lossy step against its own input.
+    auto leaf = StreamingHistogramBuilder::FoldBufferIntoSummary(
+        nullptr, 0, buffer, domain, k, options);
+    CHECK_OK(leaf);
+    MirrorSlot carry{std::move(leaf).value(), static_cast<int64_t>(b), 0.0};
+    carry.bound = l2(dense(carry.h), pmf);
+    leaf_budget +=
+        static_cast<double>(b) / static_cast<double>(n) * carry.bound;
+    size_t level = 0;
+    while (level < ladder.size() && ladder[level].count > 0) {
+      MirrorSlot& slot = ladder[level];
+      auto merged = MergeHistograms(
+          slot.h, static_cast<double>(slot.count), carry.h,
+          static_cast<double>(carry.count), k, options);
+      CHECK_OK(merged);
+      const int64_t total = slot.count + carry.count;
+      const double w1 =
+          static_cast<double>(slot.count) / static_cast<double>(total);
+      const double w2 = 1.0 - w1;
+      const std::vector<double> d1 = dense(slot.h);
+      const std::vector<double> d2 = dense(carry.h);
+      std::vector<double> mixture(static_cast<size_t>(domain));
+      for (size_t x = 0; x < mixture.size(); ++x) {
+        mixture[x] = w1 * d1[x] + w2 * d2[x];
+      }
+      const double c = l2(dense(*merged), mixture);
+      max_merge_err = std::max(max_merge_err, c);
+      merge_weight += static_cast<double>(total) / static_cast<double>(n);
+      const double bound = c + w1 * slot.bound + w2 * carry.bound;
+      carry = MirrorSlot{std::move(merged).value(), total, bound};
+      slot = MirrorSlot{};
+      ++level;
+    }
+    if (level == ladder.size()) {
+      ladder.push_back(std::move(carry));
+    } else {
+      ladder[level] = std::move(carry);
+    }
+
+    // Level accounting stays logarithmic the whole way: after f flushes
+    // (buffer empty at these boundaries) at most ceil(log2 f) + 2 levels.
+    if (((f + 1) & 255) == 0) {
+      int cap = 2;
+      while ((int64_t{1} << (cap - 2)) < f + 1) ++cap;
+      CHECK(builder->error_levels() <= cap);
+    }
+  }
+
+  // F = 2^12 exactly: one live slot at level 12, empty buffer.
+  CHECK(builder->buffered() == 0);
+  CHECK(builder->ladder_slots() == 1);
+  CHECK(builder->ladder_depth() == 13);
+  CHECK(builder->error_levels() == 13);
+  CHECK(builder->error_levels() <= 14);  // ceil(log2(n/b)) + 2
+  CHECK(ladder.size() == 13);
+  CHECK(ladder.back().count == n);
+
+  // The mirror is the builder, bit for bit, and Snapshot on a copy returns
+  // the same cut Peek reports without disturbing the original.
+  auto peek = builder->Peek();
+  CHECK_OK(peek);
+  CHECK(testing::BitIdentical(*peek, ladder.back().h));
+  auto copy = *builder;
+  auto snapshot = copy.Snapshot();
+  CHECK_OK(snapshot);
+  CHECK(testing::BitIdentical(*snapshot, *peek));
+
+  // The drift accounting closes: the true error against the pooled
+  // empirical distribution of all 131072 samples is under the accumulated
+  // bound, the commit-side merge weight is exactly the ladder depth's
+  // log2 F merges-per-sample, and the total bound decomposes into the leaf
+  // budget plus at most depth * worst-merge drift.
+  const double true_err = l2(dense(*peek), pooled);
+  const double bound = ladder.back().bound;
+  CHECK(true_err <= bound + 1e-9);
+  CHECK_NEAR(merge_weight, 12.0, 1e-6);
+  CHECK(bound <= leaf_budget + 12.0 * max_merge_err + 1e-9);
+  // Loose absolute sanity: the served summary really tracks the stream.
+  CHECK(true_err < 0.05);
+}
+
+TEST(DyadicCarryMergesWithinSqrtOnePlusDeltaDegrees0to3) {
+  // Every carry merge in the condensation ladder is one Theorem 3.3
+  // construction over the weighted mixture of its two inputs, so each tree
+  // node obeys the same bound StripedReconciliation verifies for one level:
+  //
+  //   err(node, pooled) <= sqrt(1+delta) * (opt_k(pooled) + W) + W,
+  //   W = sum_children w_i * err(child, pooled_child)
+  //
+  // — applied recursively up a 16-leaf dyadic tree at degrees 0-3, with
+  // opt_k from the exact DP at every internal node.  This is the per-merge
+  // form of the ladder's Lemma-4.2 accounting: each level multiplies by one
+  // sqrt(1+delta) and adds one weighted child-error term, nothing more.
+  const int64_t n = 64;
+  const int kLeaves = 16;
+  const int kLevels = 4;  // log2(kLeaves)
+  const int64_t k = 3;
+  for (int degree = 0; degree <= 3; ++degree) {
+    Rng rng(0xdca2'0000 + 1000 * static_cast<uint64_t>(degree));
+    // Equal-weight leaf streams and the pooled stream at every tree node.
+    std::vector<std::vector<std::vector<double>>> pooled(kLevels + 1);
+    for (int i = 0; i < kLeaves; ++i) {
+      pooled[0].push_back(RandomDistribution(rng, n));
+    }
+    for (int level = 1; level <= kLevels; ++level) {
+      const auto& below = pooled[level - 1];
+      for (size_t i = 0; i + 1 < below.size(); i += 2) {
+        std::vector<double> mix(static_cast<size_t>(n));
+        for (size_t x = 0; x < mix.size(); ++x) {
+          mix[x] = 0.5 * (below[i][x] + below[i + 1][x]);
+        }
+        pooled[level].push_back(std::move(mix));
+      }
+    }
+    // The exact k-piece optimum at every node (independent of delta).
+    std::vector<std::vector<double>> opt(kLevels + 1);
+    for (int level = 0; level <= kLevels; ++level) {
+      for (const auto& stream : pooled[level]) {
+        auto node_opt = PolyOptK(stream, k, degree);
+        CHECK_OK(node_opt);
+        opt[level].push_back(*node_opt);
+      }
+    }
+    for (const double delta : {0.5, 3.0}) {
+      const MergingOptions options{delta, 1.0};
+      const double s = std::sqrt(1.0 + delta);
+      std::vector<std::vector<double>> cur_dense;
+      std::vector<double> cur_err;
+      for (int i = 0; i < kLeaves; ++i) {
+        auto fit = ConstructPiecewisePolynomial(
+            SparseFunction::FromDense(pooled[0][static_cast<size_t>(i)]), k,
+            degree, options);
+        CHECK_OK(fit);
+        const double err = std::sqrt(fit->err_squared);
+        CHECK(err <= s * opt[0][static_cast<size_t>(i)] + 1e-7);
+        cur_dense.push_back(fit->function.ToDense());
+        cur_err.push_back(err);
+      }
+      for (int level = 1; level <= kLevels; ++level) {
+        std::vector<std::vector<double>> next_dense;
+        std::vector<double> next_err;
+        for (size_t i = 0; i + 1 < cur_dense.size(); i += 2) {
+          std::vector<double> mixture(static_cast<size_t>(n));
+          for (size_t x = 0; x < mixture.size(); ++x) {
+            mixture[x] = 0.5 * (cur_dense[i][x] + cur_dense[i + 1][x]);
+          }
+          auto merged = ConstructPiecewisePolynomial(
+              SparseFunction::FromDense(mixture), k, degree, options);
+          CHECK_OK(merged);
+          const std::vector<double> out = merged->function.ToDense();
+          double err_sq = 0.0;
+          const auto& node_pool = pooled[level][i / 2];
+          for (size_t x = 0; x < out.size(); ++x) {
+            const double diff = out[x] - node_pool[x];
+            err_sq += diff * diff;
+          }
+          const double err = std::sqrt(err_sq);
+          const double w = 0.5 * cur_err[i] + 0.5 * cur_err[i + 1];
+          CHECK(err <= s * (opt[level][i / 2] + w) + w + 1e-7);
+          next_dense.push_back(out);
+          next_err.push_back(err);
+        }
+        cur_dense = std::move(next_dense);
+        cur_err = std::move(next_err);
       }
     }
   }

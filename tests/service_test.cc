@@ -45,8 +45,10 @@ Histogram RandomHistogram(Rng* rng) {
   std::vector<HistogramPiece> pieces;
   int64_t begin = 0;
   for (const int64_t end : ends) {
-    // A mix of awkward values: exact dyadics, tiny magnitudes, negatives.
-    double value = rng->Gaussian() * 1e-3;
+    // A mix of awkward values: exact dyadics, tiny magnitudes, zeros — all
+    // non-negative, since the codec (like every real summary) rejects
+    // negative densities at decode.
+    double value = std::abs(rng->Gaussian()) * 1e-3;
     if (rng->UniformInt(8) == 0) value = 0.0;
     if (rng->UniformInt(8) == 0) value = 0.125 * rng->UniformInt(32);
     pieces.push_back({{begin, end}, value});
@@ -135,6 +137,34 @@ TEST(WireFormatRejectsCorruptInput) {
     corrupt[31] = 0x7f;
     CHECK(!DecodeHistogram(corrupt).ok());
   }
+  // Value-plane corruption: the structure stays perfectly valid, only a
+  // density is replaced by NaN / +Inf / a negative — each must be rejected
+  // at the codec boundary, not later inside a merge or a query.
+  {
+    const size_t value_plane =
+        24 + 8 * static_cast<size_t>(original.num_pieces());
+    const uint64_t hostile[] = {
+        0x7ff8000000000000ull,  // quiet NaN
+        0x7ff0000000000000ull,  // +Inf
+        0xfff0000000000000ull,  // -Inf
+        0xbff0000000000000ull,  // -1.0
+        0x8000000000000001ull,  // tiny negative denormal
+    };
+    for (const uint64_t bits : hostile) {
+      std::vector<uint8_t> corrupt = valid;
+      for (int i = 0; i < 8; ++i) {
+        corrupt[value_plane + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(bits >> (8 * i));
+      }
+      CHECK(!DecodeHistogram(corrupt).ok());
+    }
+    // Negative zero is bit-distinct but compares >= 0.0: still a valid
+    // density, so it round-trips rather than being rejected.
+    std::vector<uint8_t> negative_zero = valid;
+    for (int i = 0; i < 7; ++i) negative_zero[value_plane + i] = 0;
+    negative_zero[value_plane + 7] = 0x80;
+    CHECK_OK(DecodeHistogram(negative_zero));
+  }
   // Empty and null inputs.
   CHECK(!DecodeHistogram(nullptr, 0).ok());
   CHECK(!DecodeHistogram(std::vector<uint8_t>{}).ok());
@@ -146,6 +176,7 @@ TEST(SnapshotEnvelopeRoundTripsAndRejectsCorrupt) {
   ShardSnapshot snapshot;
   snapshot.shard_id = 0xabcdef0123456789ull;
   snapshot.num_samples = 424242;
+  snapshot.error_levels = 13;
   snapshot.encoded_histogram = EncodeHistogram(histogram);
 
   const std::vector<uint8_t> encoded = EncodeShardSnapshot(snapshot);
@@ -153,6 +184,7 @@ TEST(SnapshotEnvelopeRoundTripsAndRejectsCorrupt) {
   CHECK_OK(decoded);
   CHECK(decoded->shard_id == snapshot.shard_id);
   CHECK(decoded->num_samples == snapshot.num_samples);
+  CHECK(decoded->error_levels == 13);
   CHECK(decoded->encoded_histogram == snapshot.encoded_histogram);
   auto inner = DecodeHistogram(decoded->encoded_histogram);
   CHECK_OK(inner);
@@ -167,14 +199,31 @@ TEST(SnapshotEnvelopeRoundTripsAndRejectsCorrupt) {
     CHECK(!DecodeShardSnapshot(corrupt).ok());
   }
   {
+    // A version-1 envelope has no error_levels field; defaulting it would
+    // silently under-report the error budget, so v1 is rejected outright.
     std::vector<uint8_t> corrupt = encoded;
-    corrupt[24] ^= 0xff;  // blob size no longer matches
+    corrupt[4] = 1;
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = encoded;
+    for (int i = 0; i < 8; ++i) corrupt[24 + i] = 0xff;  // error_levels = -1
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[27] = 0x7f;  // error_levels absurdly large (> 2^20)
+    CHECK(!DecodeShardSnapshot(corrupt).ok());
+  }
+  {
+    std::vector<uint8_t> corrupt = encoded;
+    corrupt[32] ^= 0xff;  // blob size no longer matches
     CHECK(!DecodeShardSnapshot(corrupt).ok());
   }
   {
     // Valid envelope around a corrupted histogram blob.
     std::vector<uint8_t> corrupt = encoded;
-    corrupt[32] ^= 0xff;  // embedded histogram magic
+    corrupt[40] ^= 0xff;  // embedded histogram magic
     CHECK(!DecodeShardSnapshot(corrupt).ok());
   }
 }
@@ -195,12 +244,16 @@ TEST(ShardIngestorExportsWithoutFlushing) {
   CHECK_OK(ingestor);
   CHECK_OK(ingestor->ExportSnapshot());  // empty export: uniform, 0 samples
   CHECK(ingestor->ExportSnapshot()->num_samples == 0);
+  CHECK(ingestor->ExportSnapshot()->error_levels == 0);  // fabricated summary
   CHECK(ingestor->Ingest(samples).ok());
 
   auto snapshot = ingestor->ExportSnapshot();
   CHECK_OK(snapshot);
   CHECK(snapshot->shard_id == 17);
   CHECK(snapshot->num_samples == 1000);
+  // 3 flushes -> ladder slots at levels 0 and 1 (depth 2), plus the
+  // buffered remainder: one read-fold pass over 3 sources = 3 levels.
+  CHECK(snapshot->error_levels == 3);
   // Export is read-only: the builder state (partial buffer included) is
   // untouched, so a shadow builder fed the same stream and then snapshotted
   // produces a bit-identical summary.
@@ -305,7 +358,11 @@ TEST(MergeTreeDepthAndErrorAccounting) {
       }
       CHECK(reduced->depth == expected_depth);
       CHECK(reduced->num_merges == num_shards - 1);
-      CHECK(reduced->error_levels == expected_depth + 1);
+      // Each leaf reports its ladder accounting: 500 samples / 128 buffer =
+      // 3 flushes (depth-2 ladder, 2 live slots) + a buffered remainder,
+      // so every snapshot arrives with 3 levels and the tree adds depth.
+      CHECK(snapshots.front().error_levels == 3);
+      CHECK(reduced->error_levels == expected_depth + 3);
       CHECK(reduced->total_weight ==
             static_cast<double>(num_shards) * 500.0);
     }
@@ -325,8 +382,8 @@ TEST(MergeTreeDepthAndErrorAccounting) {
   CHECK_OK(empty_a);
   CHECK_OK(empty_b);
   std::vector<ShardSnapshot> all_empty;
-  all_empty.push_back({7, 0, EncodeHistogram(*empty_b)});  // higher id first
-  all_empty.push_back({3, 0, EncodeHistogram(*empty_a)});
+  all_empty.push_back({7, 0, 0, EncodeHistogram(*empty_b)});  // higher id first
+  all_empty.push_back({3, 0, 0, EncodeHistogram(*empty_a)});
   auto empty_reduced = ReduceSnapshots(all_empty, 8);
   CHECK_OK(empty_reduced);
   CHECK(BitIdentical(empty_reduced->aggregate, *empty_a));
@@ -346,13 +403,13 @@ TEST(MergeTreeSkipsEmptyShardSnapshotsEarly) {
   CHECK_OK(h2);
   CHECK_OK(h3);
   std::vector<ShardSnapshot> busy;
-  busy.push_back({1, 300, EncodeHistogram(*h1)});
-  busy.push_back({4, 100, EncodeHistogram(*h2)});
-  busy.push_back({6, 200, EncodeHistogram(*h3)});
+  busy.push_back({1, 300, 1, EncodeHistogram(*h1)});
+  busy.push_back({4, 100, 1, EncodeHistogram(*h2)});
+  busy.push_back({6, 200, 1, EncodeHistogram(*h3)});
   std::vector<ShardSnapshot> fleet = busy;
-  fleet.push_back({2, 0, EncodeHistogram(*h3)});           // idle, valid
-  fleet.push_back({5, 0, {0xde, 0xad, 0xbe, 0xef}});       // idle, corrupt
-  fleet.push_back({7, 0, {}});                             // idle, no bytes
+  fleet.push_back({2, 0, 0, EncodeHistogram(*h3)});        // idle, valid
+  fleet.push_back({5, 0, 0, {0xde, 0xad, 0xbe, 0xef}});    // idle, corrupt
+  fleet.push_back({7, 0, 0, {}});                          // idle, no bytes
   for (const int fan_in : {2, 4}) {
     MergeTreeOptions options;
     options.fan_in = fan_in;
@@ -371,12 +428,12 @@ TEST(MergeTreeSkipsEmptyShardSnapshotsEarly) {
   // decoded.  Corrupt-first surfaces the decode error; valid-first returns
   // that summary and the corrupt trailing payload stays dead weight.
   std::vector<ShardSnapshot> corrupt_first;
-  corrupt_first.push_back({9, 0, EncodeHistogram(*h1)});
-  corrupt_first.push_back({3, 0, {1, 2, 3}});
+  corrupt_first.push_back({9, 0, 0, EncodeHistogram(*h1)});
+  corrupt_first.push_back({3, 0, 0, {1, 2, 3}});
   CHECK(!ReduceSnapshots(corrupt_first, 8).ok());
   std::vector<ShardSnapshot> valid_first;
-  valid_first.push_back({9, 0, {1, 2, 3}});
-  valid_first.push_back({3, 0, EncodeHistogram(*h1)});
+  valid_first.push_back({9, 0, 0, {1, 2, 3}});
+  valid_first.push_back({3, 0, 0, EncodeHistogram(*h1)});
   auto reduced = ReduceSnapshots(valid_first, 8);
   CHECK_OK(reduced);
   CHECK(BitIdentical(reduced->aggregate, *h1));
@@ -497,7 +554,7 @@ TEST(ServiceEndToEndQuantiles) {
   auto reduced = ReduceSnapshots(snapshots, k);
   CHECK_OK(reduced);
   CHECK(reduced->total_weight == 100000.0);
-  auto aggregator = Aggregator::Create(reduced->aggregate);
+  auto aggregator = Aggregator::Create(*reduced);
   CHECK_OK(aggregator);
 
   std::sort(pooled.begin(), pooled.end());
@@ -549,16 +606,28 @@ TEST(StripedSnapshotFeedsMergeTreeLikeAnyShard) {
   }
   auto striped_snapshot = (*striped)->ExportSnapshot();
   CHECK_OK(striped_snapshot);
-  // The envelope codec accepts it like any shard's.
+  // Ladder accounting is explicit and checkable.  The sequential writer
+  // handles release their stripe on scope exit, so all four claims land on
+  // the first stripe: 60000 samples on a 2048 window = 29 condenses
+  // (0b11101: 4 live slots, depth 5) plus a buffered window -> 6 levels,
+  // and a single contributing stripe adds no reconcile depth.  The plain
+  // shard's 30000 samples = 14 flushes (0b1110: 3 slots, depth 4) plus a
+  // buffered remainder -> 5.
+  CHECK(striped_snapshot->error_levels == 6);
+  CHECK(snapshots.front().error_levels == 5);
+  // The envelope codec accepts it like any shard's, accounting included.
   auto round_trip =
       DecodeShardSnapshot(EncodeShardSnapshot(*striped_snapshot));
   CHECK_OK(round_trip);
   CHECK(round_trip->num_samples == 60000);
+  CHECK(round_trip->error_levels == 6);
   snapshots.push_back(std::move(striped_snapshot).value());
 
   auto reduced = ReduceSnapshots(snapshots, k);
   CHECK_OK(reduced);
   CHECK(reduced->total_weight == 90000.0);
+  // One tree merge on top of the deeper (6-level) leaf.
+  CHECK(reduced->error_levels == 7);
   auto empirical = EmpiricalDistribution(domain, pooled);
   CHECK_OK(empirical);
   const double err =
@@ -567,6 +636,98 @@ TEST(StripedSnapshotFeedsMergeTreeLikeAnyShard) {
   // shared per-shard condense + tree levels; on 90k samples that budget
   // still lands far under this loose absolute check.
   CHECK(err < 0.05);
+}
+
+TEST(ReduceSnapshotsDedupesRetransmitsRejectsConflicts) {
+  // An at-least-once transport may deliver the same shard snapshot twice.
+  // Byte-identical retransmits must collapse to one contribution; two
+  // different payloads claiming the same shard_id are a fleet bug and must
+  // fail the reduction instead of silently double- or mis-counting.
+  auto h1 = Histogram::Create(100, {{{0, 40}, 0.02}, {{40, 100}, 0.005}});
+  auto h2 = Histogram::Create(100, {{{0, 70}, 0.01}, {{70, 100}, 0.01}});
+  auto h3 = Histogram::Create(100, {{{0, 100}, 0.01}});
+  CHECK_OK(h1);
+  CHECK_OK(h2);
+  CHECK_OK(h3);
+  std::vector<ShardSnapshot> fleet;
+  fleet.push_back({1, 300, 2, EncodeHistogram(*h1)});
+  fleet.push_back({4, 100, 1, EncodeHistogram(*h2)});
+  fleet.push_back({6, 200, 3, EncodeHistogram(*h3)});
+  auto baseline = ReduceSnapshots(fleet, 8);
+  CHECK_OK(baseline);
+
+  // Duplicate every snapshot once (and one of them twice), shuffled in
+  // arrival order: the reduction is bit-identical to the clean fleet.
+  std::vector<ShardSnapshot> noisy;
+  noisy.push_back(fleet[2]);
+  noisy.push_back(fleet[0]);
+  noisy.push_back(fleet[1]);
+  noisy.push_back(fleet[0]);
+  noisy.push_back(fleet[2]);
+  noisy.push_back(fleet[1]);
+  noisy.push_back(fleet[0]);
+  auto deduped = ReduceSnapshots(noisy, 8);
+  CHECK_OK(deduped);
+  CHECK(BitIdentical(deduped->aggregate, baseline->aggregate));
+  CHECK(deduped->total_weight == baseline->total_weight);
+  CHECK(deduped->depth == baseline->depth);
+  CHECK(deduped->num_merges == baseline->num_merges);
+  CHECK(deduped->error_levels == baseline->error_levels);
+
+  // Same shard_id, different sample count: conflict.
+  std::vector<ShardSnapshot> recount = fleet;
+  recount.push_back({1, 301, 2, EncodeHistogram(*h1)});
+  CHECK(!ReduceSnapshots(recount, 8).ok());
+  // Same shard_id and count, different payload bytes: conflict.
+  std::vector<ShardSnapshot> repaint = fleet;
+  repaint.push_back({4, 100, 1, EncodeHistogram(*h3)});
+  CHECK(!ReduceSnapshots(repaint, 8).ok());
+  // Same shard_id, payload, and count, different error accounting: still a
+  // conflict — two runs of the same shard cannot disagree on their ladder.
+  std::vector<ShardSnapshot> relevel = fleet;
+  relevel.push_back({6, 200, 4, EncodeHistogram(*h3)});
+  CHECK(!ReduceSnapshots(relevel, 8).ok());
+  // Dedupe also applies to idle shards: a retransmitted empty envelope
+  // does not disturb the all-empty fallback path.
+  std::vector<ShardSnapshot> idle;
+  idle.push_back({3, 0, 0, EncodeHistogram(*h3)});
+  idle.push_back({3, 0, 0, EncodeHistogram(*h3)});
+  auto idle_reduced = ReduceSnapshots(idle, 8);
+  CHECK_OK(idle_reduced);
+  CHECK(idle_reduced->total_weight == 0.0);
+}
+
+TEST(AggregatorRejectsZeroSampleAggregate) {
+  // An all-idle fleet reduces fine (the uniform fallback keeps the merge
+  // tree total), but it summarizes zero samples: the MergeTreeResult
+  // overload refuses to build a query server from it, so nobody serves
+  // Quantile(0.99) of a distribution that was never observed.
+  auto idle_payload = Histogram::Create(100, {{{0, 100}, 0.01}});
+  CHECK_OK(idle_payload);
+  std::vector<ShardSnapshot> idle;
+  idle.push_back({1, 0, 0, EncodeHistogram(*idle_payload)});
+  idle.push_back({2, 0, 0, EncodeHistogram(*idle_payload)});
+  idle.push_back({3, 0, 0, EncodeHistogram(*idle_payload)});
+  auto reduced = ReduceSnapshots(idle, 8);
+  CHECK_OK(reduced);
+  CHECK(reduced->total_weight == 0.0);
+  CHECK(!Aggregator::Create(*reduced).ok());
+
+  // One busy shard is enough to serve again, and the overload scales the
+  // error budget by the reduction's level count.
+  auto h = Histogram::Create(100, {{{0, 100}, 0.01}});
+  CHECK_OK(h);
+  std::vector<ShardSnapshot> fleet = idle;
+  fleet.push_back({4, 250, 2, EncodeHistogram(*h)});
+  auto busy = ReduceSnapshots(fleet, 8);
+  CHECK_OK(busy);
+  CHECK(busy->total_weight == 250.0);
+  auto served = Aggregator::Create(*busy, 0.01);
+  CHECK_OK(served);
+  CHECK_NEAR(served->RangeMassQuery(0, 100).error_bound,
+             0.01 * static_cast<double>(busy->error_levels), 1e-12);
+  // A negative per-level budget is rejected like the raw constructor's.
+  CHECK(!Aggregator::Create(*busy, -0.5).ok());
 }
 
 }  // namespace

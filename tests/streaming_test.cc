@@ -203,7 +203,11 @@ TEST(StreamingSpanIngestFromRawSlices) {
   CHECK_OK(whole);
   CHECK(whole->AddMany(stream).ok());
   CHECK(sliced->num_samples() == whole->num_samples());
-  CHECK(BitIdentical(*sliced->Snapshot(), *whole->Snapshot()));
+  // Snapshot commits the buffered tail into the ladder, so capture whole's
+  // view once and compare every reader against that same cut.
+  auto whole_snapshot = whole->Snapshot();
+  CHECK_OK(whole_snapshot);
+  CHECK(BitIdentical(*sliced->Snapshot(), *whole_snapshot));
 
   // Subspan views compose: front half + back half == the whole.
   Span<const int64_t> view(stream);
@@ -211,7 +215,7 @@ TEST(StreamingSpanIngestFromRawSlices) {
   CHECK_OK(halves);
   CHECK(halves->AddMany(view.subspan(0, 3000)).ok());
   CHECK(halves->AddMany(view.subspan(3000, stream.size())).ok());
-  CHECK(BitIdentical(*halves->Snapshot(), *whole->Snapshot()));
+  CHECK(BitIdentical(*halves->Snapshot(), *whole_snapshot));
 }
 
 TEST(StreamingGenerationCountsCommittedCondenses) {
@@ -222,11 +226,17 @@ TEST(StreamingGenerationCountsCommittedCondenses) {
   CHECK(builder->buffer_capacity() == 100);
 
   // 250 samples through a 100 buffer: two committed condenses, 50 buffered.
+  // The dyadic carry merged the two flushes into one level-1 slot.
   CHECK(builder->AddMany({samples.data(), 250}).ok());
   CHECK(builder->generation() == 2);
   CHECK(builder->buffered() == 50);
   CHECK(builder->summarized_count() == 200);
-  CHECK(builder->summary().num_pieces() > 0);
+  auto committed = builder->CommittedSummary();
+  CHECK_OK(committed);
+  CHECK(committed->num_pieces() > 0);
+  CHECK(builder->ladder_depth() == 2);   // level-1 slot occupied
+  CHECK(builder->ladder_slots() == 1);
+  CHECK(builder->error_levels() == 3);   // depth 2 + one read-fold pass
 
   // Peek never bumps the generation; Snapshot's flush of a non-empty
   // buffer bumps it exactly once; flushing an empty buffer never does.
@@ -235,8 +245,20 @@ TEST(StreamingGenerationCountsCommittedCondenses) {
   CHECK_OK(builder->Snapshot());
   CHECK(builder->generation() == 3);
   CHECK(builder->buffered() == 0);
+  // F = 3 = 0b11: slots at levels 0 and 1, chained by the read fold.
+  CHECK(builder->ladder_depth() == 2);
+  CHECK(builder->ladder_slots() == 2);
+  CHECK(builder->error_levels() == 3);
   CHECK_OK(builder->Snapshot());
   CHECK(builder->generation() == 3);
+
+  // A fresh builder has no levels at all; buffering alone costs one.
+  auto fresh = StreamingHistogramBuilder::Create(2000, 10, 100);
+  CHECK_OK(fresh);
+  CHECK(fresh->error_levels() == 0);
+  CHECK(!fresh->CommittedSummary().ok());
+  CHECK(fresh->Add(3).ok());
+  CHECK(fresh->error_levels() == 1);  // one condense, nothing to chain
 }
 
 TEST(StreamingFoldBufferMatchesPeek) {
@@ -250,11 +272,15 @@ TEST(StreamingFoldBufferMatchesPeek) {
 
   // The static fold on hand-copied builder state (what the striped
   // ingestor's export runs on its seqlock-consistent stripe copies) is
-  // bit-identical to the builder's own Peek.
+  // bit-identical to the builder's own Peek: CommittedSummary is the exact
+  // prefix of the Peek chain, so folding the window copy onto it lands on
+  // the same bits.
   const std::vector<int64_t> window(samples.begin() + 1024,
                                     samples.begin() + 1200);
+  auto committed = builder->CommittedSummary();
+  CHECK_OK(committed);
   auto folded = StreamingHistogramBuilder::FoldBufferIntoSummary(
-      &builder->summary(), builder->summarized_count(), window, domain, k,
+      &*committed, builder->summarized_count(), window, domain, k,
       builder->options());
   CHECK_OK(folded);
   CHECK(BitIdentical(*folded, *builder->Peek()));
@@ -268,6 +294,126 @@ TEST(StreamingFoldBufferMatchesPeek) {
       nullptr, 0, {samples.data(), 176}, domain, k, fresh->options());
   CHECK_OK(batch_only);
   CHECK(BitIdentical(*batch_only, *fresh->Peek()));
+}
+
+TEST(StreamingLadderMatchesDyadicMirrorAndSlowPath) {
+  // A from-first-principles mirror of the dyadic ladder, built with the
+  // SLOW construction path (sort-based ConstructHistogram) and explicit
+  // MergeHistograms calls.  Bit-identity of the mirror's read fold against
+  // the builder's Peek proves three things at once: the commit schedule is
+  // exactly binary-carry, the read fold is exactly highest-slot-first, and
+  // fast == slow construction holds through every ladder level.
+  const int64_t domain = 2000;
+  const int64_t k = 8;
+  const size_t b = 64;
+  const std::vector<int64_t>& samples = Samples();
+  const MergingOptions options;
+
+  auto builder = StreamingHistogramBuilder::Create(domain, k, b, options);
+  CHECK_OK(builder);
+
+  struct Slot {
+    Histogram summary;
+    int64_t count = 0;
+  };
+  std::vector<Slot> slots;
+  std::vector<int64_t> buffer;
+
+  const size_t total = 2400;  // 37 flushes (0b100101) + 32 buffered
+  size_t flushes = 0;
+  for (size_t i = 0; i < total; ++i) {
+    CHECK(builder->Add(samples[i]).ok());
+    buffer.push_back(samples[i]);
+    if (buffer.size() < b) continue;
+    auto empirical = EmpiricalDistribution(domain, buffer);
+    CHECK_OK(empirical);
+    auto leaf = ConstructHistogram(*empirical, k, options);  // slow path
+    CHECK_OK(leaf);
+    Histogram carry = std::move(leaf->histogram);
+    int64_t carry_count = static_cast<int64_t>(b);
+    size_t level = 0;
+    while (level < slots.size() && slots[level].count > 0) {
+      auto merged = MergeHistograms(
+          slots[level].summary, static_cast<double>(slots[level].count),
+          carry, static_cast<double>(carry_count), k, options);
+      CHECK_OK(merged);
+      carry = std::move(merged).value();
+      carry_count += slots[level].count;
+      slots[level] = Slot{};
+      ++level;
+    }
+    if (level == slots.size()) slots.emplace_back();
+    slots[level] = {std::move(carry), carry_count};
+    buffer.clear();
+    ++flushes;
+    // The logarithmic guarantee, checked after every flush: never more
+    // than ceil(log2 F) + 2 levels no matter how long the stream runs.
+    int cap = 2;
+    while ((size_t{1} << (cap - 2)) < flushes) ++cap;
+    CHECK(builder->error_levels() <= cap);
+  }
+  CHECK(flushes == 37);
+
+  // Structural accounting matches the mirror's occupancy exactly.
+  int depth = 0;
+  int live = 0;
+  for (size_t level = 0; level < slots.size(); ++level) {
+    if (slots[level].count > 0) {
+      depth = static_cast<int>(level) + 1;
+      ++live;
+    }
+  }
+  CHECK(builder->ladder_depth() == depth);
+  CHECK(builder->ladder_slots() == live);
+  const int sources = live + (buffer.empty() ? 0 : 1);
+  const int deepest = std::max(depth, buffer.empty() ? 0 : 1);
+  CHECK(builder->error_levels() == deepest + (sources > 1 ? 1 : 0));
+
+  // Mirror read fold: live slots highest level first, then the buffered
+  // remainder condensed (slow path) and chained on.
+  Histogram fold;
+  int64_t fold_count = 0;
+  for (size_t level = slots.size(); level > 0; --level) {
+    const Slot& slot = slots[level - 1];
+    if (slot.count == 0) continue;
+    if (fold_count == 0) {
+      fold = slot.summary;
+      fold_count = slot.count;
+      continue;
+    }
+    auto merged = MergeHistograms(fold, static_cast<double>(fold_count),
+                                  slot.summary,
+                                  static_cast<double>(slot.count), k, options);
+    CHECK_OK(merged);
+    fold = std::move(merged).value();
+    fold_count += slot.count;
+  }
+  if (!buffer.empty()) {
+    auto empirical = EmpiricalDistribution(domain, buffer);
+    CHECK_OK(empirical);
+    auto tail = ConstructHistogram(*empirical, k, options);  // slow path
+    CHECK_OK(tail);
+    auto merged = MergeHistograms(fold, static_cast<double>(fold_count),
+                                  tail->histogram,
+                                  static_cast<double>(buffer.size()), k,
+                                  options);
+    CHECK_OK(merged);
+    fold = std::move(merged).value();
+  }
+  auto peek = builder->Peek();
+  CHECK_OK(peek);
+  CHECK(BitIdentical(fold, *peek));
+
+  // Snapshot on a copy == Peek on the original: the snapshot's value is
+  // the pre-commit read fold by construction, and the original builder is
+  // untouched by the copy's flush.
+  auto copy = *builder;
+  auto snapshot = copy.Snapshot();
+  CHECK_OK(snapshot);
+  CHECK(BitIdentical(*snapshot, *peek));
+  CHECK(builder->buffered() == 32);
+  CHECK(copy.buffered() == 0);
+  CHECK(copy.generation() == builder->generation() + 1);
 }
 
 }  // namespace
