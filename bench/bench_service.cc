@@ -11,13 +11,27 @@
 //                   to end (create + append + reconcile export).  Reps are
 //                   interleaved and rotated across the writer-count axis so
 //                   no cell owns a quiet (or noisy) stretch of the machine.
+//   --store-grid    keys x samples/key x batch: batched keyed ingest into a
+//                   SummaryStore (store/summary_store.h), written to its own
+//                   trajectory file (BENCH_store.json, --store-out=PATH).
+//                   Each row records the store's own byte accounting
+//                   (bytes_per_key_overhead, payload_bytes_per_key), the
+//                   process VmRSS after the build, and the ingest slowdown
+//                   vs a single-histogram ShardIngestor fed the identical
+//                   value stream.  Two budgets are enforced, not just
+//                   reported: overhead <= 150 bytes/key on every cell with
+//                   >= 65536 keys, and VmRSS < 2 GB always — a violation
+//                   exits 2, so the committed trajectory cannot drift past
+//                   the multi-tenancy budget silently.
 //
-// With neither flag both grids run.  Every JSON row records
-// threads_effective (what the machine actually ran, so a 1-core container
-// cannot masquerade as a scaling result), the stripe count, and the
+// With neither flag the shard and striped grids run (the store grid is
+// opt-in: it is a different binary contract with its own output file).
+// Every JSON row records threads_effective (what the machine actually ran,
+// so a 1-core container cannot masquerade as a scaling result) and the
 // min-of-R rep count (--reps=N, floor 3).
 //
-//   bench_service [--grid] [--striped-grid] [--smoke] [--reps=N] [--out=PATH]
+//   bench_service [--grid] [--striped-grid] [--store-grid] [--smoke]
+//                 [--reps=N] [--out=PATH] [--store-out=PATH]
 //
 // --smoke shrinks the grids for CI; the binary exits non-zero if any
 // service call fails or an aggregate loses mass, so the smoke run doubles
@@ -42,6 +56,7 @@
 #include "service/shard.h"
 #include "service/striped_ingestor.h"
 #include "service/wire_format.h"
+#include "store/summary_store.h"
 #include "util/parallel.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -405,6 +420,265 @@ int RunStripedGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
   return 0;
 }
 
+// --- keyed store grid -------------------------------------------------------
+
+// One summary shape for every cell: small domain and k, so the per-key
+// payload is a few hundred bytes and a million keys fit the RSS budget the
+// store promises (ROADMAP item 3).
+constexpr int64_t kStoreDomain = 1024;
+constexpr int64_t kStoreK = 8;
+constexpr size_t kStoreWindow = 64;
+constexpr double kStoreMaxOverheadBytesPerKey = 150.0;
+constexpr double kStoreMaxRssMb = 2048.0;
+constexpr int64_t kStoreOverheadGateMinKeys = 65536;
+
+struct StoreCell {
+  int64_t keys = 0;
+  int64_t samples_per_key = 0;
+  int64_t batch = 0;
+};
+
+// splitmix64: the sample generator for the keyed grid.  Two multiplies per
+// sample keeps generation cheap enough to run *inside* the timed region —
+// which it must, because pre-materializing the 1M-key cell's stream would
+// cost a gigabyte and poison the very RSS number this grid gates on.  The
+// store and the ShardIngestor baseline both pay it, so the slowdown ratio
+// is apples-to-apples and the absolute throughput is (slightly)
+// conservative.
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Key ids are well-spread 64-bit values (tenants do not hand out dense
+// ids); sample s of a cell goes to key slot s % keys, so arrivals
+// interleave round-robin across every key — for cells where keys exceed
+// the batch size, every batch is all-distinct keys, the worst grouping
+// case AddBatch can see.
+uint64_t StoreKeyOf(int64_t slot) {
+  return SplitMix(static_cast<uint64_t>(slot));
+}
+
+int64_t StoreValueOf(int64_t s) {
+  return static_cast<int64_t>(
+      SplitMix(static_cast<uint64_t>(s) ^ 0xc0ffee0ddba11ull) %
+      static_cast<uint64_t>(kStoreDomain));
+}
+
+void FillKeyedBatch(int64_t keys, int64_t start, int64_t len,
+                    std::vector<KeyedSample>* out) {
+  out->clear();
+  for (int64_t s = start; s < start + len; ++s) {
+    out->push_back({StoreKeyOf(s % keys), StoreValueOf(s)});
+  }
+}
+
+// Builds a store and runs a cell's full batched ingest through it.  Timed
+// by the caller; also the memory-pass body (same code path measures bytes
+// and throughput, so the committed numbers describe one artifact).
+SummaryStore BuildStoreOnce(const StoreCell& cell,
+                            std::vector<KeyedSample>& scratch) {
+  ArchetypeConfig config;
+  config.domain_size = kStoreDomain;
+  config.k = kStoreK;
+  config.window_capacity = kStoreWindow;
+  auto store = SummaryStore::Create(config);
+  if (!store.ok()) Die("SummaryStore::Create", store.status());
+  if (Status s = store->ReserveKeys(static_cast<size_t>(cell.keys));
+      !s.ok()) {
+    Die("ReserveKeys", s);
+  }
+  const int64_t total = cell.keys * cell.samples_per_key;
+  for (int64_t off = 0; off < total; off += cell.batch) {
+    const int64_t len = std::min(cell.batch, total - off);
+    FillKeyedBatch(cell.keys, off, len, &scratch);
+    if (Status s = store->AddBatch(scratch); !s.ok()) Die("AddBatch", s);
+  }
+  return std::move(store).value();
+}
+
+// VmRSS from /proc/self/status, in MB (0 when unreadable, e.g. non-Linux —
+// the RSS gate is skipped then, the store's own byte accounting still
+// gates).
+double ReadRssMb() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::atof(line + 6);
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb / 1024.0;
+}
+
+int RunStoreGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
+  // Cells ascend in key count so the million-key build runs last: arena
+  // fragments the smaller cells leave behind cannot inflate its VmRSS
+  // reading, and a budget violation there fails after the cheap cells have
+  // already reported.
+  const std::vector<StoreCell> cells =
+      smoke ? std::vector<StoreCell>{{1024, 64, 1024},
+                                     {1024, 64, 65536},
+                                     {1024, 1024, 65536}}
+            : std::vector<StoreCell>{{1024, 64, 1024},
+                                     {1024, 64, 65536},
+                                     {1024, 1024, 65536},
+                                     {65536, 64, 65536},
+                                     {65536, 256, 65536},
+                                     {1048576, 64, 65536}};
+  const double threads_effective = 1.0;  // serial end to end, like --grid
+
+  TablePrinter table({"keys", "samples/key", "batch", "ingest Msamp/s",
+                      "vs shard", "payload B/key", "slack B/key",
+                      "overhead B/key", "rss MB", "err lvls"});
+
+  std::vector<KeyedSample> keyed_scratch;
+  std::vector<int64_t> value_scratch;
+  for (const StoreCell& cell : cells) {
+    keyed_scratch.reserve(static_cast<size_t>(cell.batch));
+    value_scratch.reserve(static_cast<size_t>(cell.batch));
+    const int64_t total = cell.keys * cell.samples_per_key;
+
+    // Memory + correctness pass (untimed): one build, then the store's own
+    // byte accounting, the process RSS while the store is live, and
+    // spot-checks that the keyed pipeline actually ran — exact per-key
+    // counts at both ends of the key range and unit mass on a summary.
+    double overhead_per_key = 0.0;
+    double payload_per_key = 0.0;
+    double slack_per_key = 0.0;
+    double rss_mb = 0.0;
+    int error_levels = 0;
+    {
+      SummaryStore store = BuildStoreOnce(cell, keyed_scratch);
+      const StoreMemoryStats stats = store.memory();
+      if (stats.num_keys != static_cast<size_t>(cell.keys)) {
+        std::fprintf(stderr, "bench_service: store holds %zu keys != %lld\n",
+                     stats.num_keys, static_cast<long long>(cell.keys));
+        return 2;
+      }
+      overhead_per_key = stats.overhead_bytes_per_key();
+      payload_per_key = static_cast<double>(stats.payload_bytes) /
+                        static_cast<double>(stats.num_keys);
+      slack_per_key = static_cast<double>(stats.ladder_slack_bytes) /
+                      static_cast<double>(stats.num_keys);
+      rss_mb = ReadRssMb();
+      for (const int64_t slot : {int64_t{0}, cell.keys - 1}) {
+        auto count = store.NumSamples(StoreKeyOf(slot));
+        if (!count.ok()) Die("NumSamples", count.status());
+        if (*count != cell.samples_per_key) {
+          std::fprintf(stderr,
+                       "bench_service: key slot %lld counted %lld != %lld\n",
+                       static_cast<long long>(slot),
+                       static_cast<long long>(*count),
+                       static_cast<long long>(cell.samples_per_key));
+          return 2;
+        }
+      }
+      auto summary = store.Query(StoreKeyOf(0));
+      if (!summary.ok()) Die("Query", summary.status());
+      if (std::abs(summary->TotalMass() - 1.0) > 1e-6) {
+        std::fprintf(stderr, "bench_service: keyed mass drifted to %.9f\n",
+                     summary->TotalMass());
+        return 2;
+      }
+      auto levels = store.ErrorLevels(StoreKeyOf(0));
+      if (!levels.ok()) Die("ErrorLevels", levels.status());
+      error_levels = *levels;
+    }
+
+    // Budget gates.  The overhead budget applies where amortization is
+    // meant to have kicked in (small-key cells are dominated by fixed
+    // chunk bookkeeping and would gate nothing real).
+    if (cell.keys >= kStoreOverheadGateMinKeys &&
+        overhead_per_key > kStoreMaxOverheadBytesPerKey) {
+      std::fprintf(stderr,
+                   "bench_service: %.1f overhead bytes/key at %lld keys "
+                   "busts the %.0f-byte budget\n",
+                   overhead_per_key, static_cast<long long>(cell.keys),
+                   kStoreMaxOverheadBytesPerKey);
+      return 2;
+    }
+    if (rss_mb > kStoreMaxRssMb) {
+      std::fprintf(stderr,
+                   "bench_service: %.0f MB RSS at %lld keys busts the "
+                   "%.0f MB budget\n",
+                   rss_mb, static_cast<long long>(cell.keys), kStoreMaxRssMb);
+      return 2;
+    }
+
+    // Timed pass: the full keyed pipeline (store create + reserve +
+    // generate + AddBatch everything), min-of-R.
+    const double store_ms = bench_util::MinMillis(
+        [&] { BuildStoreOnce(cell, keyed_scratch); }, reps);
+    const double msamples_per_s =
+        static_cast<double>(total) / (store_ms * 1e3);
+
+    // Baseline: one ShardIngestor swallowing the identical value stream
+    // (same generator, same batch rhythm, no keys) with its buffer sized
+    // to the store's per-key window — the same condensation cadence, so
+    // the ratio prices multi-tenancy itself (grouping, index probes, slab
+    // scatter), not a different summarization schedule.  (A 2048-sample
+    // buffer baseline is ~2.7x faster per sample but produces a different
+    // summary: fewer, larger condensations.)
+    const double baseline_ms = bench_util::MinMillis(
+        [&] {
+          auto ingestor = ShardIngestor::Create(/*shard_id=*/0, kStoreDomain,
+                                                kStoreK, kStoreWindow);
+          if (!ingestor.ok()) Die("ShardIngestor::Create", ingestor.status());
+          for (int64_t off = 0; off < total; off += cell.batch) {
+            const int64_t len = std::min(cell.batch, total - off);
+            value_scratch.clear();
+            for (int64_t s = off; s < off + len; ++s) {
+              value_scratch.push_back(StoreValueOf(s));
+            }
+            if (Status s = ingestor->Ingest(value_scratch); !s.ok()) {
+              Die("Ingest", s);
+            }
+          }
+        },
+        reps);
+    const double slowdown = baseline_ms > 0.0 ? store_ms / baseline_ms : 0.0;
+
+    const std::string name = "store_keys" + std::to_string(cell.keys) +
+                             "_spk" + std::to_string(cell.samples_per_key) +
+                             "_batch" + std::to_string(cell.batch);
+    writer.Add(name,
+               {{"keys", static_cast<double>(cell.keys)},
+                {"samples_per_key",
+                 static_cast<double>(cell.samples_per_key)},
+                {"batch", static_cast<double>(cell.batch)},
+                {"threads_effective", threads_effective},
+                {"reps", static_cast<double>(reps)},
+                {"ms", store_ms},
+                {"ingest_msamples_per_s", msamples_per_s},
+                {"slowdown_vs_shard_ingestor", slowdown},
+                {"payload_bytes_per_key", payload_per_key},
+                {"ladder_slack_bytes_per_key", slack_per_key},
+                {"bytes_per_key_overhead", overhead_per_key},
+                {"rss_mb", rss_mb},
+                {"error_levels", static_cast<double>(error_levels)}});
+    table.AddRow({TablePrinter::FormatInt(cell.keys),
+                  TablePrinter::FormatInt(cell.samples_per_key),
+                  TablePrinter::FormatInt(cell.batch),
+                  TablePrinter::FormatDouble(msamples_per_s, 2),
+                  TablePrinter::FormatDouble(slowdown, 2),
+                  TablePrinter::FormatDouble(payload_per_key, 1),
+                  TablePrinter::FormatDouble(slack_per_key, 1),
+                  TablePrinter::FormatDouble(overhead_per_key, 1),
+                  TablePrinter::FormatDouble(rss_mb, 0),
+                  TablePrinter::FormatInt(error_levels)});
+  }
+
+  table.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 }  // namespace fasthist
 
@@ -415,8 +689,12 @@ int main(int argc, char** argv) {
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool grid_flag = HasFlag(argc, argv, "--grid");
   const bool striped_flag = HasFlag(argc, argv, "--striped-grid");
+  const bool store_flag = HasFlag(argc, argv, "--store-grid");
   const char* out = FlagValue(argc, argv, "--out=");
   const std::string out_path = out != nullptr ? out : "BENCH_service.json";
+  const char* store_out = FlagValue(argc, argv, "--store-out=");
+  const std::string store_out_path =
+      store_out != nullptr ? store_out : "BENCH_store.json";
 
   // Min-of-R rep count: --reps=N, floored at 3 (below that a minimum is
   // just a sample).
@@ -429,9 +707,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // With neither grid flag, run both into the same trajectory file.
-  const bool run_grid = grid_flag || !striped_flag;
-  const bool run_striped = striped_flag || !grid_flag;
+  // With no shard-level flag, run both shard grids into the same trajectory
+  // file.  The keyed store grid is opt-in only and writes its own file.
+  const bool run_grid = grid_flag || (!striped_flag && !store_flag);
+  const bool run_striped = striped_flag || (!grid_flag && !store_flag);
 
   fasthist::bench_util::JsonBenchWriter writer("service");
   writer.AddContext("domain", static_cast<double>(fasthist::kDomain));
@@ -452,10 +731,38 @@ int main(int argc, char** argv) {
   }
   if (rc != 0) return rc;
 
-  if (!writer.WriteFile(out_path)) {
-    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
-    return 2;
+  // Only a run that produced shard-grid records may touch the service
+  // trajectory file — a store-only invocation from the repo root must not
+  // clobber the committed BENCH_service.json with an empty record set.
+  if (run_grid || run_striped) {
+    if (!writer.WriteFile(out_path)) {
+      std::fprintf(stderr, "bench_service: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", out_path.c_str());
   }
-  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (store_flag) {
+    fasthist::bench_util::JsonBenchWriter store_writer("store");
+    store_writer.AddContext("domain",
+                            static_cast<double>(fasthist::kStoreDomain));
+    store_writer.AddContext("k", static_cast<double>(fasthist::kStoreK));
+    store_writer.AddContext("window_capacity",
+                            static_cast<double>(fasthist::kStoreWindow));
+    store_writer.AddContext(
+        "baseline_buffer_capacity",
+        static_cast<double>(fasthist::kStoreWindow));
+    store_writer.AddContext("smoke", smoke ? 1.0 : 0.0);
+    store_writer.AddContext("reps", static_cast<double>(reps));
+    rc = fasthist::RunStoreGrid(smoke, reps, store_writer);
+    if (rc != 0) return rc;
+    if (!store_writer.WriteFile(store_out_path)) {
+      std::fprintf(stderr, "bench_service: cannot write %s\n",
+                   store_out_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", store_out_path.c_str());
+  }
   return 0;
 }

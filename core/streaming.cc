@@ -4,9 +4,37 @@
 #include <utility>
 
 #include "core/fast_merging.h"
+#include "core/streaming_ladder.h"
 #include "dist/empirical.h"
 
 namespace fasthist {
+
+// The streaming_ladder Storage adapter over the builder's own slot vector.
+// Load copies the resident summary (the hooks are storage-agnostic, and the
+// plane-backed stores must materialize by value anyway); the copies are
+// noise next to the MergeHistograms calls they feed.
+struct StreamingHistogramBuilder::VectorLadder {
+  std::vector<LadderSlot>* slots;
+
+  int levels() const { return static_cast<int>(slots->size()); }
+  int64_t count(int level) const {
+    return (*slots)[static_cast<size_t>(level)].count;
+  }
+  StatusOr<Histogram> Load(int level) const {
+    return (*slots)[static_cast<size_t>(level)].summary;
+  }
+  Status Store(int level, Histogram histogram, int64_t count) {
+    LadderSlot& slot = (*slots)[static_cast<size_t>(level)];
+    slot.summary = std::move(histogram);
+    slot.count = count;
+    return Status::Ok();
+  }
+  void Clear(int level) { (*slots)[static_cast<size_t>(level)] = LadderSlot{}; }
+  Status PushLevel() {
+    slots->emplace_back();
+    return Status::Ok();
+  }
+};
 
 StatusOr<StreamingHistogramBuilder> StreamingHistogramBuilder::Create(
     int64_t domain_size, int64_t k, size_t buffer_capacity,
@@ -76,28 +104,20 @@ StatusOr<Histogram> StreamingHistogramBuilder::FoldBufferIntoSummary(
 }
 
 int StreamingHistogramBuilder::ladder_depth() const {
-  for (size_t level = ladder_.size(); level > 0; --level) {
-    if (ladder_[level - 1].count > 0) return static_cast<int>(level);
-  }
-  return 0;
+  // The const_cast is sound: Depth/Slots/Fold only call the adapter's const
+  // operations (levels/count/Load).
+  VectorLadder view{const_cast<std::vector<LadderSlot>*>(&ladder_)};
+  return streaming_ladder::Depth(view);
 }
 
 int StreamingHistogramBuilder::ladder_slots() const {
-  int slots = 0;
-  for (const LadderSlot& slot : ladder_) {
-    if (slot.count > 0) ++slots;
-  }
-  return slots;
+  VectorLadder view{const_cast<std::vector<LadderSlot>*>(&ladder_)};
+  return streaming_ladder::Slots(view);
 }
 
 int StreamingHistogramBuilder::error_levels() const {
-  const int sources = ladder_slots() + (buffer_.empty() ? 0 : 1);
-  if (sources == 0) return 0;
-  // Deepest chain feeding the read fold: the ladder's commit-side depth, or
-  // the single condense the buffered remainder costs.  Chaining more than
-  // one source is one read-side fold pass — one additional level.
-  const int deepest = std::max(ladder_depth(), buffer_.empty() ? 0 : 1);
-  return deepest + (sources > 1 ? 1 : 0);
+  return streaming_ladder::ErrorLevels(ladder_depth(), ladder_slots(),
+                                       !buffer_.empty());
 }
 
 StatusOr<Histogram> StreamingHistogramBuilder::CommittedSummary() const {
@@ -106,29 +126,10 @@ StatusOr<Histogram> StreamingHistogramBuilder::CommittedSummary() const {
         "StreamingHistogramBuilder: no committed summary yet");
   }
   // Fold occupied slots oldest first: the highest level holds the earliest
-  // buffers, so a highest-to-lowest chain keeps stream order left to right.
-  const Histogram* acc = nullptr;
-  int64_t acc_count = 0;
-  Histogram folded;
-  for (size_t level = ladder_.size(); level > 0; --level) {
-    const LadderSlot& slot = ladder_[level - 1];
-    if (slot.count == 0) continue;
-    if (acc == nullptr) {
-      acc = &slot.summary;
-      acc_count = slot.count;
-      continue;
-    }
-    auto merged = MergeHistograms(*acc, static_cast<double>(acc_count),
-                                  slot.summary,
-                                  static_cast<double>(slot.count), k_,
-                                  options_);
-    if (!merged.ok()) return merged.status();
-    folded = std::move(merged).value();
-    acc = &folded;
-    acc_count += slot.count;
-  }
-  if (acc != &folded) folded = *acc;
-  return folded;
+  // buffers, so a highest-to-lowest chain keeps stream order left to right
+  // (streaming_ladder::Fold's contract).
+  VectorLadder view{const_cast<std::vector<LadderSlot>*>(&ladder_)};
+  return streaming_ladder::Fold(view, k_, options_);
 }
 
 StatusOr<Histogram> StreamingHistogramBuilder::FoldedView() const {
@@ -148,32 +149,29 @@ StatusOr<Histogram> StreamingHistogramBuilder::FoldedView() const {
                                domain_size_, k_, options_);
 }
 
+void StreamingHistogramBuilder::Reset() {
+  buffer_.clear();  // keeps the reserved capacity
+  // Vacate every level in place: the slot vector (and the pieces each
+  // retired summary held) stays allocated for the next occupant.
+  for (LadderSlot& slot : ladder_) slot.count = 0;
+  summarized_count_ = 0;
+  generation_ = 0;
+}
+
 Status StreamingHistogramBuilder::Flush() {
   if (buffer_.empty()) return Status::Ok();
-  // Condense the buffer to a level-0 summary, then carry it upward like
-  // binary addition: while the target level is occupied, merge the resident
-  // (older, so left operand) summary with the carry and vacate the slot.
+  // Condense the buffer to a level-0 summary, then carry it upward through
+  // the shared dyadic-commit hook (core/streaming_ladder.h).
   auto condensed = FoldBufferIntoSummary(nullptr, 0, buffer_, domain_size_,
                                          k_, options_);
   if (!condensed.ok()) return condensed.status();
-  Histogram carry = std::move(condensed).value();
-  int64_t carry_count = static_cast<int64_t>(buffer_.size());
-  size_t level = 0;
-  while (level < ladder_.size() && ladder_[level].count > 0) {
-    LadderSlot& slot = ladder_[level];
-    auto merged = MergeHistograms(slot.summary,
-                                  static_cast<double>(slot.count), carry,
-                                  static_cast<double>(carry_count), k_,
-                                  options_);
-    if (!merged.ok()) return merged.status();
-    carry = std::move(merged).value();
-    carry_count += slot.count;
-    slot = LadderSlot{};
-    ++level;
+  VectorLadder view{&ladder_};
+  if (Status s = streaming_ladder::Commit(
+          view, std::move(condensed).value(),
+          static_cast<int64_t>(buffer_.size()), k_, options_);
+      !s.ok()) {
+    return s;
   }
-  if (level == ladder_.size()) ladder_.emplace_back();
-  ladder_[level].summary = std::move(carry);
-  ladder_[level].count = carry_count;
   summarized_count_ += static_cast<int64_t>(buffer_.size());
   buffer_.clear();
   ++generation_;

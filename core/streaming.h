@@ -36,6 +36,24 @@ class StreamingHistogramBuilder {
       int64_t domain_size, int64_t k, size_t buffer_capacity,
       const MergingOptions& options = MergingOptions());
 
+  // Copyable (tests snapshot builder state by value) and movable: pools
+  // that recycle builders — or hand them between stripes — can move-assign
+  // into an existing slot without reallocating the destination's buffers.
+  StreamingHistogramBuilder(const StreamingHistogramBuilder&) = default;
+  StreamingHistogramBuilder& operator=(const StreamingHistogramBuilder&) =
+      default;
+  StreamingHistogramBuilder(StreamingHistogramBuilder&&) = default;
+  StreamingHistogramBuilder& operator=(StreamingHistogramBuilder&&) = default;
+
+  // Reuse without reallocation: drops every ingested sample (buffer, ladder
+  // occupancy, counters, generation) but keeps the buffer's reserved
+  // capacity and the ladder's level slots, so recycling a warm builder
+  // skips the construction allocations a fresh Create would pay again.
+  // After Reset() the builder is observationally identical to a freshly
+  // created one with the same arguments (asserted by streaming_test;
+  // perf_smoke_test pins the warm-reuse allocation count).
+  void Reset();
+
   // Samples must lie in [0, domain_size).
   Status Add(int64_t sample);
 
@@ -144,6 +162,12 @@ class StreamingHistogramBuilder {
     Histogram summary;
     int64_t count = 0;
   };
+
+  // Adapter exposing `ladder_` to the shared commit/fold hooks in
+  // core/streaming_ladder.h (the same hooks the keyed summary store runs
+  // over its SoA plane slices, which is what keeps a store slot
+  // bit-identical to a standalone builder).  Defined in streaming.cc.
+  struct VectorLadder;
 
   StreamingHistogramBuilder(int64_t domain_size, int64_t k,
                             size_t buffer_capacity,

@@ -1,0 +1,136 @@
+#ifndef FASTHIST_CORE_STREAMING_LADDER_H_
+#define FASTHIST_CORE_STREAMING_LADDER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/merging.h"
+#include "dist/histogram.h"
+#include "util/status.h"
+
+namespace fasthist {
+namespace streaming_ladder {
+
+// The dyadic condensation ladder's commit and fold steps, extracted from
+// StreamingHistogramBuilder so that any storage able to hold "one summary
+// per level" runs the *same* computation: the builder's private vector of
+// slots, and the summary store's SoA plane slices where thousands of keyed
+// ladders share one slab (store/archetype_pool.h).  Both therefore produce
+// bit-identical summaries from the same sample subsequence — the contract
+// the keyed store's property tests pin down.
+//
+// Storage concept (duck-typed):
+//   int   levels() const;            // ladder size, including vacant slots
+//   int64_t count(int level) const;  // samples condensed at level; 0=vacant
+//   StatusOr<Histogram> Load(int level) const;    // valid when count > 0
+//   Status Store(int level, Histogram h, int64_t count);  // occupy slot
+//   void  Clear(int level);          // vacate slot
+//   Status PushLevel();              // append one vacant level at the top
+//
+// Level L, when occupied, holds the condensation of exactly 2^L consecutive
+// buffers, and the occupied slots after F flushes are the binary digits of
+// F — see the ladder narrative in core/streaming.h.
+
+// Commits one freshly condensed buffer summary (`carry`, covering
+// `carry_count` samples) into the ladder, carrying upward like binary
+// addition: while the target level is occupied, the resident (older, so
+// left operand) summary is merged with the carry and the slot is vacated.
+// The merge sequence — operand order, weights, knobs — is exactly what
+// StreamingHistogramBuilder::Flush has always run, so two ladders fed the
+// same condensed buffers stay bit-identical regardless of who owns the
+// slots.
+template <typename Storage>
+Status Commit(Storage& ladder, Histogram carry, int64_t carry_count,
+              int64_t k, const MergingOptions& options) {
+  int level = 0;
+  while (level < ladder.levels() && ladder.count(level) > 0) {
+    auto resident = ladder.Load(level);
+    if (!resident.ok()) return resident.status();
+    auto merged = MergeHistograms(
+        *resident, static_cast<double>(ladder.count(level)), carry,
+        static_cast<double>(carry_count), k, options);
+    if (!merged.ok()) return merged.status();
+    carry = std::move(merged).value();
+    carry_count += ladder.count(level);
+    ladder.Clear(level);
+    ++level;
+  }
+  if (level == ladder.levels()) {
+    if (Status s = ladder.PushLevel(); !s.ok()) return s;
+  }
+  return ladder.Store(level, std::move(carry), carry_count);
+}
+
+// Folds the occupied slots to a single histogram, oldest (highest level)
+// first so stream order chains left to right.  This is the committed-prefix
+// half of the read-side fold (StreamingHistogramBuilder::CommittedSummary);
+// callers with buffered samples chain them in afterwards with
+// StreamingHistogramBuilder::FoldBufferIntoSummary.  Invalid on an empty
+// ladder.
+template <typename Storage>
+StatusOr<Histogram> Fold(const Storage& ladder, int64_t k,
+                         const MergingOptions& options) {
+  bool have = false;
+  Histogram acc;
+  int64_t acc_count = 0;
+  for (int level = ladder.levels(); level-- > 0;) {
+    const int64_t level_count = ladder.count(level);
+    if (level_count == 0) continue;
+    auto loaded = ladder.Load(level);
+    if (!loaded.ok()) return loaded.status();
+    if (!have) {
+      acc = std::move(loaded).value();
+      acc_count = level_count;
+      have = true;
+      continue;
+    }
+    auto merged =
+        MergeHistograms(acc, static_cast<double>(acc_count), *loaded,
+                        static_cast<double>(level_count), k, options);
+    if (!merged.ok()) return merged.status();
+    acc = std::move(merged).value();
+    acc_count += level_count;
+  }
+  if (!have) return Status::Invalid("streaming_ladder::Fold: empty ladder");
+  return acc;
+}
+
+// 1 + the highest occupied level (0 when nothing is committed): the deepest
+// commit-side merge chain any sample has passed through, counting its
+// initial condense.  After F flushes this is floor(log2 F) + 1.
+template <typename Storage>
+int Depth(const Storage& ladder) {
+  for (int level = ladder.levels(); level-- > 0;) {
+    if (ladder.count(level) > 0) return level + 1;
+  }
+  return 0;
+}
+
+// Occupied slots (the popcount of the flush counter): how many live
+// summaries the read-side fold has to chain together.
+template <typename Storage>
+int Slots(const Storage& ladder) {
+  int slots = 0;
+  for (int level = 0; level < ladder.levels(); ++level) {
+    if (ladder.count(level) > 0) ++slots;
+  }
+  return slots;
+}
+
+// Error levels of the summary the read-side fold returns right now, from
+// the ladder accounting plus whether unsummarized samples sit buffered:
+// 0 with no samples at all, otherwise the deepest per-source chain plus 1
+// when the fold has more than one source to chain.  Shared convention with
+// MergeTreeResult::error_levels, so budgets compose additively.
+inline int ErrorLevels(int depth, int slots, bool buffered) {
+  const int sources = slots + (buffered ? 1 : 0);
+  if (sources == 0) return 0;
+  const int deepest = std::max(depth, buffered ? 1 : 0);
+  return deepest + (sources > 1 ? 1 : 0);
+}
+
+}  // namespace streaming_ladder
+}  // namespace fasthist
+
+#endif  // FASTHIST_CORE_STREAMING_LADDER_H_

@@ -51,6 +51,22 @@ StatusOr<Aggregator> Aggregator::Create(const MergeTreeResult& reduction,
                 per_level_error * static_cast<double>(reduction.error_levels));
 }
 
+StatusOr<Aggregator> Aggregator::CreateForSnapshot(const ShardSnapshot& snapshot,
+                                                   double per_level_error) {
+  if (snapshot.num_samples <= 0) {
+    return Status::Invalid(
+        "Aggregator: snapshot summarizes zero samples — nothing to serve");
+  }
+  if (!(per_level_error >= 0.0)) {
+    return Status::Invalid("Aggregator: per_level_error must be >= 0");
+  }
+  auto histogram = DecodeHistogram(snapshot.encoded_histogram);
+  if (!histogram.ok()) return histogram.status();
+  return Create(std::move(histogram).value(),
+                per_level_error *
+                    static_cast<double>(std::max(1, snapshot.error_levels)));
+}
+
 size_t Aggregator::PieceIndexOf(int64_t x) const {
   const auto& pieces = summary_.pieces();
   const auto it = std::upper_bound(

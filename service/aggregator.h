@@ -43,6 +43,15 @@ class Aggregator {
   static StatusOr<Aggregator> Create(const MergeTreeResult& reduction,
                                      double per_level_error = 0.0);
 
+  // Per-key serving: wraps a single snapshot envelope (typically a keyed v3
+  // export from a summary store, but any snapshot works) without running a
+  // reduction first.  Rejects empty snapshots for the same reason the
+  // reduction overload rejects zero-weight aggregates.  The echoed budget is
+  // per_level_error * max(1, error_levels) — the floor matches
+  // ReduceSnapshots' treatment of legacy envelopes that never set the field.
+  static StatusOr<Aggregator> CreateForSnapshot(const ShardSnapshot& snapshot,
+                                                double per_level_error = 0.0);
+
   const Histogram& histogram() const { return summary_; }
   double error_budget() const { return error_budget_; }
 

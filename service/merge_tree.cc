@@ -113,18 +113,27 @@ StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
   // deterministically.
   std::sort(snapshots.begin(), snapshots.end(),
             [](const ShardSnapshot& a, const ShardSnapshot& b) {
-              return std::tie(a.shard_id, a.num_samples, a.error_levels,
-                              a.encoded_histogram) <
-                     std::tie(b.shard_id, b.num_samples, b.error_levels,
-                              b.encoded_histogram);
+              return std::tie(a.shard_id, a.keyed, a.key_id, a.num_samples,
+                              a.error_levels, a.encoded_histogram) <
+                     std::tie(b.shard_id, b.keyed, b.key_id, b.num_samples,
+                              b.error_levels, b.encoded_histogram);
             });
-  // Idempotent delivery: a retransmitted snapshot (same shard, same bytes)
-  // must not double-count, and two *different* snapshots claiming the same
-  // shard_id is an upstream bug — there is no correct way to merge both.
-  // After the sort duplicates are adjacent, so one linear pass settles it.
+  // Idempotent delivery: a retransmitted snapshot (same identity, same
+  // bytes) must not double-count, and two *different* snapshots claiming
+  // the same identity is an upstream bug — there is no correct way to merge
+  // both.  Identity is (shard_id, keyed, key_id): two v3 snapshots for
+  // different keys of one shard are distinct leaves (that is how a keyed
+  // store's per-key exports roll up through the same tree), while a keyed
+  // and an un-keyed snapshot never collide.  After the sort duplicates are
+  // adjacent, so one linear pass settles it.
+  const auto same_identity = [](const ShardSnapshot& a,
+                                const ShardSnapshot& b) {
+    return a.shard_id == b.shard_id && a.keyed == b.keyed &&
+           a.key_id == b.key_id;
+  };
   size_t kept = 0;
   for (size_t i = 0; i < snapshots.size(); ++i) {
-    if (kept > 0 && snapshots[kept - 1].shard_id == snapshots[i].shard_id) {
+    if (kept > 0 && same_identity(snapshots[kept - 1], snapshots[i])) {
       if (snapshots[kept - 1].num_samples == snapshots[i].num_samples &&
           snapshots[kept - 1].error_levels == snapshots[i].error_levels &&
           snapshots[kept - 1].encoded_histogram ==
@@ -132,7 +141,7 @@ StatusOr<MergeTreeResult> ReduceSnapshots(std::vector<ShardSnapshot> snapshots,
         continue;  // byte-identical retransmit: drop the extra copy
       }
       return Status::Invalid(
-          "ReduceSnapshots: conflicting snapshots for one shard_id");
+          "ReduceSnapshots: conflicting snapshots for one identity");
     }
     if (kept != i) snapshots[kept] = std::move(snapshots[i]);
     ++kept;

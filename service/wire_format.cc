@@ -11,7 +11,8 @@ namespace {
 constexpr uint32_t kHistogramMagic = 0x31684846;
 constexpr uint32_t kSnapshotMagic = 0x31734846;
 constexpr uint32_t kHistogramVersion = 1;
-constexpr uint32_t kSnapshotVersion = 2;  // v2 added error_levels
+constexpr uint32_t kSnapshotVersion = 2;       // v2 added error_levels
+constexpr uint32_t kSnapshotVersionKeyed = 3;  // v3 added key_id (keyed)
 constexpr size_t kBytesPerPiece = 16;  // one int64 end + one double value
 
 // Any honest error_levels is tiny (ladder depth + reconcile + tree depth);
@@ -190,10 +191,14 @@ StatusOr<Histogram> DecodeHistogram(const uint8_t* data, size_t size) {
 
 std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot) {
   std::vector<uint8_t> out;
-  out.reserve(40 + snapshot.encoded_histogram.size());
+  out.reserve(48 + snapshot.encoded_histogram.size());
   AppendU32(&out, kSnapshotMagic);
-  AppendU32(&out, kSnapshotVersion);
+  // Version is a pure function of `keyed`: an un-keyed snapshot produces
+  // the exact v2 byte stream it always has (regression-tested), a keyed
+  // one inserts key_id after shard_id under version 3.
+  AppendU32(&out, snapshot.keyed ? kSnapshotVersionKeyed : kSnapshotVersion);
   AppendU64(&out, snapshot.shard_id);
+  if (snapshot.keyed) AppendU64(&out, snapshot.key_id);
   AppendI64(&out, snapshot.num_samples);
   AppendI64(&out, static_cast<int64_t>(snapshot.error_levels));
   AppendU64(&out, static_cast<uint64_t>(snapshot.encoded_histogram.size()));
@@ -220,11 +225,13 @@ StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size) {
   if (!reader.ReadU32(&version)) {
     return Status::Invalid("DecodeShardSnapshot: truncated header");
   }
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != kSnapshotVersionKeyed) {
     return Status::Invalid("DecodeShardSnapshot: unsupported version");
   }
+  snapshot.keyed = version == kSnapshotVersionKeyed;
   int64_t error_levels = 0;
   if (!reader.ReadU64(&snapshot.shard_id) ||
+      (snapshot.keyed && !reader.ReadU64(&snapshot.key_id)) ||
       !reader.ReadI64(&snapshot.num_samples) ||
       !reader.ReadI64(&error_levels) || !reader.ReadU64(&blob_size)) {
     return Status::Invalid("DecodeShardSnapshot: truncated header");

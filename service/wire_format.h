@@ -61,13 +61,25 @@ struct ShardSnapshot {
   // 0 only for a no-data snapshot (num_samples == 0).
   int error_levels = 0;
   std::vector<uint8_t> encoded_histogram;
+  // Multi-tenant identity (wire version 3): when `keyed` is set the
+  // snapshot summarizes one key of a keyed summary store (user / metric /
+  // time bucket — see store/summary_store.h) rather than a whole shard,
+  // and `key_id` names it.  Un-keyed snapshots (the only kind before v3)
+  // encode as version 2 byte-identically, so every pre-store producer and
+  // consumer keeps its exact bytes.  Declared last so pre-v3 aggregate
+  // initializers keep their field order.
+  bool keyed = false;
+  uint64_t key_id = 0;
 };
 
 // Envelope layout (version 2): magic "FHs1", version (= 2), shard_id (u64),
 // num_samples (int64, >= 0), error_levels (int64, >= 0), histogram blob
-// size (u64), blob.  Decoding validates the envelope and the embedded
-// histogram; version-1 envelopes (no error_levels field) are rejected as
-// unsupported — a silent default would under-report the error budget.
+// size (u64), blob.  Version 3 (keyed): identical except a key_id (u64)
+// field between shard_id and num_samples.  Encoding picks the version from
+// `keyed` — false encodes exact v2 bytes, true v3 — and decoding accepts
+// both.  Decoding validates the envelope and the embedded histogram;
+// version-1 envelopes (no error_levels field) are rejected as unsupported —
+// a silent default would under-report the error budget.
 std::vector<uint8_t> EncodeShardSnapshot(const ShardSnapshot& snapshot);
 
 StatusOr<ShardSnapshot> DecodeShardSnapshot(const uint8_t* data, size_t size);

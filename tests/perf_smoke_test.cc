@@ -7,8 +7,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <type_traits>
+#include <vector>
 
 #include "core/fast_merging.h"
+#include "core/streaming.h"
 #include "core/internal/merge_engine.h"
 #include "data/generators.h"
 #include "poly/poly_merging.h"
@@ -111,6 +114,44 @@ TEST(FusedRoundMakesOneSweepOverThePlanes) {
   CHECK(threaded_hist->num_rounds == hist->num_rounds);
   check_passes(threaded_hist->num_rounds);
   SetHardwareParallelismForTesting(0);
+}
+
+// Reset() is the recycling contract the keyed store's slab design leans on:
+// a warm builder re-fed after Reset() must not pay the construction
+// allocations again (buffer reserve, ladder growth), and two warm runs must
+// land on the identical allocation count — if a Reset leaked state into
+// the next run, the counts would drift.
+TEST(StreamingBuilderResetReusesWithoutReallocation) {
+  static_assert(
+      std::is_move_assignable<StreamingHistogramBuilder>::value &&
+          std::is_move_constructible<StreamingHistogramBuilder>::value,
+      "pools recycle builders by move");
+
+  const int64_t domain = 4096;
+  const int64_t k = 16;
+  const size_t buffer = 512;
+  std::vector<int64_t> samples(20 * buffer);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<int64_t>((i * 2654435761u) % domain);
+  }
+
+  auto builder = StreamingHistogramBuilder::Create(domain, k, buffer);
+  CHECK_OK(builder);
+  const auto run = [&]() {
+    const long long before = g_allocations.load(std::memory_order_relaxed);
+    CHECK(builder->AddMany(samples).ok());
+    return g_allocations.load(std::memory_order_relaxed) - before;
+  };
+
+  const long long cold = run();  // pays ladder growth + engine warm-up
+  builder->Reset();
+  CHECK(builder->num_samples() == 0);
+  CHECK(builder->generation() == 0);
+  const long long warm1 = run();
+  builder->Reset();
+  const long long warm2 = run();
+  CHECK(warm1 == warm2);  // warm runs are allocation-deterministic
+  CHECK(warm1 < cold);    // the reused buffers actually got reused
 }
 
 }  // namespace

@@ -228,6 +228,95 @@ TEST(SnapshotEnvelopeRoundTripsAndRejectsCorrupt) {
   }
 }
 
+// The versioned-decode matrix after the keyed (v3) envelope landed: v1
+// stays rejected, an un-keyed snapshot still produces its exact v2 bytes
+// (no pre-store producer or consumer sees a single changed bit), and a
+// keyed snapshot round-trips its identity through v3.
+TEST(SnapshotEnvelopeVersionedDecodeV1V2V3) {
+  Rng rng(321);
+  const Histogram histogram = RandomHistogram(&rng);
+  ShardSnapshot snapshot;
+  snapshot.shard_id = 0x1122334455667788ull;
+  snapshot.num_samples = 9999;
+  snapshot.error_levels = 4;
+  snapshot.encoded_histogram = EncodeHistogram(histogram);
+
+  // v2: `keyed` defaults false, and the byte stream is the pre-v3 layout
+  // field for field — version word 2, num_samples at offset 16 (no key_id).
+  const std::vector<uint8_t> v2 = EncodeShardSnapshot(snapshot);
+  CHECK(v2[4] == 2 && v2[5] == 0 && v2[6] == 0 && v2[7] == 0);
+  CHECK(v2[16] == 0x0f && v2[17] == 0x27);  // 9999 little-endian
+  auto v2_decoded = DecodeShardSnapshot(v2);
+  CHECK_OK(v2_decoded);
+  CHECK(!v2_decoded->keyed);
+  CHECK(v2_decoded->key_id == 0);
+  // Decode -> re-encode is the identity on bytes (the regression guard:
+  // a keyed-aware middlebox cannot perturb un-keyed traffic).
+  CHECK(EncodeShardSnapshot(*v2_decoded) == v2);
+
+  // v1 (no error_levels field) stays rejected outright.
+  {
+    std::vector<uint8_t> v1 = v2;
+    v1[4] = 1;
+    CHECK(!DecodeShardSnapshot(v1).ok());
+  }
+
+  // v3: keyed identity round-trips; the payload bytes ride unchanged.
+  snapshot.keyed = true;
+  snapshot.key_id = 0xfeedfacecafebeefull;
+  const std::vector<uint8_t> v3 = EncodeShardSnapshot(snapshot);
+  CHECK(v3[4] == 3);
+  CHECK(v3.size() == v2.size() + 8);  // exactly one extra u64 (key_id)
+  auto v3_decoded = DecodeShardSnapshot(v3);
+  CHECK_OK(v3_decoded);
+  CHECK(v3_decoded->keyed);
+  CHECK(v3_decoded->key_id == snapshot.key_id);
+  CHECK(v3_decoded->shard_id == snapshot.shard_id);
+  CHECK(v3_decoded->num_samples == snapshot.num_samples);
+  CHECK(v3_decoded->error_levels == snapshot.error_levels);
+  CHECK(v3_decoded->encoded_histogram == snapshot.encoded_histogram);
+  CHECK(EncodeShardSnapshot(*v3_decoded) == v3);
+
+  // Truncating v3 at any length fails cleanly (the key_id field widened
+  // the header; every prefix must still be a hard error, not a misparse).
+  for (size_t len = 0; len < v3.size(); ++len) {
+    CHECK(!DecodeShardSnapshot(v3.data(), len).ok());
+  }
+
+  // A v2 stream relabeled as v3 shifts every later field by 8 bytes; the
+  // blob-size check catches the misalignment.
+  {
+    std::vector<uint8_t> relabeled = v2;
+    relabeled[4] = 3;
+    CHECK(!DecodeShardSnapshot(relabeled).ok());
+  }
+
+  // Keyed and un-keyed snapshots with the same shard_id are distinct
+  // identities to the reducer: both survive as leaves (no dedupe, no
+  // conflict), as do two different keys of one shard.
+  {
+    ShardSnapshot unkeyed = snapshot;
+    unkeyed.keyed = false;
+    unkeyed.key_id = 0;
+    ShardSnapshot other_key = snapshot;
+    other_key.key_id = 7;
+    auto reduced = ReduceSnapshots({snapshot, unkeyed, other_key}, 8,
+                                   MergeTreeOptions());
+    CHECK_OK(reduced);
+    CHECK(reduced->total_weight == 3.0 * 9999.0);
+    // A byte-identical keyed retransmit still dedupes; a conflicting
+    // payload under the same (shard, key) identity is still an error.
+    auto deduped = ReduceSnapshots({snapshot, snapshot, other_key}, 8,
+                                   MergeTreeOptions());
+    CHECK_OK(deduped);
+    CHECK(deduped->total_weight == 2.0 * 9999.0);
+    ShardSnapshot conflicting = snapshot;
+    conflicting.num_samples = 1234;
+    CHECK(!ReduceSnapshots({snapshot, conflicting}, 8, MergeTreeOptions())
+               .ok());
+  }
+}
+
 TEST(ShardIngestorExportsWithoutFlushing) {
   const int64_t domain = 1000;
   auto p = NormalizeToDistribution(MakeHistDataset({domain, 7, 10, 20.0,

@@ -416,5 +416,55 @@ TEST(StreamingLadderMatchesDyadicMirrorAndSlowPath) {
   CHECK(copy.generation() == builder->generation() + 1);
 }
 
+// After Reset() a builder is observationally identical to a freshly
+// created one: every counter back to zero, and a re-fed stream produces
+// bit-identical summaries at every probe point — including when the ladder
+// was deep and the buffer mid-window at the moment of the Reset.
+TEST(StreamingResetMatchesFreshBuilder) {
+  const int64_t domain = 2000;
+  const int64_t k = 10;
+  const size_t buffer = 256;
+  const std::vector<int64_t>& samples = Samples();
+  const Span<const int64_t> first_epoch(samples.data(), 10 * buffer + 100);
+  const Span<const int64_t> second_epoch(samples.data() + first_epoch.size(),
+                                         7 * buffer + 31);
+
+  auto recycled = StreamingHistogramBuilder::Create(domain, k, buffer);
+  CHECK_OK(recycled);
+  CHECK(recycled->AddMany(first_epoch).ok());
+  CHECK(recycled->ladder_depth() > 1);  // the Reset really has state to drop
+  CHECK(recycled->buffered() == 100);
+  recycled->Reset();
+
+  CHECK(recycled->num_samples() == 0);
+  CHECK(recycled->buffered() == 0);
+  CHECK(recycled->generation() == 0);
+  CHECK(recycled->ladder_depth() == 0);
+  CHECK(recycled->ladder_slots() == 0);
+  CHECK(recycled->error_levels() == 0);
+  auto empty_peek = recycled->Peek();
+  CHECK_OK(empty_peek);
+  CHECK_NEAR(empty_peek->TotalMass(), 1.0, 1e-12);  // uniform, like fresh
+
+  auto fresh = StreamingHistogramBuilder::Create(domain, k, buffer);
+  CHECK_OK(fresh);
+  size_t fed = 0;
+  while (fed < second_epoch.size()) {
+    const size_t step = std::min<size_t>(97, second_epoch.size() - fed);
+    const Span<const int64_t> slice(second_epoch.data() + fed, step);
+    CHECK(recycled->AddMany(slice).ok());
+    CHECK(fresh->AddMany(slice).ok());
+    fed += step;
+  }
+  CHECK(recycled->num_samples() == fresh->num_samples());
+  CHECK(recycled->generation() == fresh->generation());
+  CHECK(recycled->error_levels() == fresh->error_levels());
+  auto recycled_peek = recycled->Peek();
+  CHECK_OK(recycled_peek);
+  auto fresh_peek = fresh->Peek();
+  CHECK_OK(fresh_peek);
+  CHECK(BitIdentical(*recycled_peek, *fresh_peek));
+}
+
 }  // namespace
 }  // namespace fasthist
