@@ -11,6 +11,20 @@
 //                   to end (create + append + reconcile export).  Reps are
 //                   interleaved and rotated across the writer-count axis so
 //                   no cell owns a quiet (or noisy) stretch of the machine.
+//   --net-grid      connections x batch x offered load, over real loopback
+//                   sockets: an in-process IngestServer (net/ingest_server.h)
+//                   driven closed-loop by N blocking clients on their own
+//                   threads, written to its own trajectory file
+//                   (BENCH_net.json, --net-out=PATH).  Each row reports the
+//                   saturation (or paced) throughput, the overload
+//                   accounting (accepted / shed / rejected samples, max
+//                   queue depth), and the server's own self-measured ingest
+//                   P50/P99/P99.5 pulled over the wire via a kStats frame.
+//                   One cell runs deliberately past saturation against tiny
+//                   watermarks to demonstrate the two-tier policy; every
+//                   cell replays its accepted (ACK-reconstructed) samples
+//                   into an offline store and exits 2 unless the drained
+//                   server summaries are bit-identical to the replay.
 //   --store-grid    keys x samples/key x batch: batched keyed ingest into a
 //                   SummaryStore (store/summary_store.h), written to its own
 //                   trajectory file (BENCH_store.json, --store-out=PATH).
@@ -30,8 +44,9 @@
 // so a 1-core container cannot masquerade as a scaling result) and the
 // min-of-R rep count (--reps=N, floor 3).
 //
-//   bench_service [--grid] [--striped-grid] [--store-grid] [--smoke]
-//                 [--reps=N] [--out=PATH] [--store-out=PATH]
+//   bench_service [--grid] [--striped-grid] [--store-grid] [--net-grid]
+//                 [--smoke] [--reps=N] [--out=PATH] [--store-out=PATH]
+//                 [--net-out=PATH]
 //
 // --smoke shrinks the grids for CI; the binary exits non-zero if any
 // service call fails or an aggregate loses mass, so the smoke run doubles
@@ -49,6 +64,13 @@
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
+#if defined(FASTHIST_HAVE_NET)
+#include <chrono>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/ingest_server.h"
+#endif
 #include "dist/alias_sampler.h"
 #include "dist/empirical.h"
 #include "service/aggregator.h"
@@ -679,6 +701,272 @@ int RunStoreGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
   return 0;
 }
 
+// --- net grid ---------------------------------------------------------------
+
+#if defined(FASTHIST_HAVE_NET)
+
+// One cell of the socket-front-end sweep.  offered_load is samples/second
+// across all connections (0 = closed-loop as fast as the server ACKs, the
+// saturation measurement); overload cells shrink the server's watermarks
+// and disable size/deadline flushing so the bounded per-connection queues
+// actually fill, tripping degrade-to-sampling and then kRejected.
+struct NetCell {
+  int connections = 1;
+  int64_t batch = 0;
+  int64_t batches_per_client = 0;
+  double offered_load = 0.0;
+  bool overload = false;
+};
+
+// Disjoint keys per (cell, connection): per-key store state depends only on
+// that key's subsequence, so the offline replay below is exact regardless
+// of how the connections' flushes interleave in the live server.
+uint64_t NetKeyOf(size_t cell_index, int client) {
+  return 0x9000 + cell_index * 64 + static_cast<uint64_t>(client);
+}
+
+// Runs one cell once: server up, N client threads closed-loop (or paced),
+// stats probed over the wire, graceful shutdown, then the bit-identical
+// replay gate — the drained server store must match an offline store fed
+// exactly the accepted (ACK-reconstructed) samples.  Returns false on a
+// replay/accounting violation (the caller exits 2); infrastructure
+// failures die immediately.
+bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
+                    double* out_ms, ServerStats* out_stats) {
+  IngestServerOptions options;
+  options.shard_id = 42;
+  if (cell.overload) {
+    options.soft_watermark = smoke ? 128 : 512;
+    options.hard_watermark = smoke ? 512 : 2048;
+    options.flush_batch = size_t{1} << 20;
+    options.flush_deadline_us = uint64_t{60} * 1000 * 1000;
+  }
+  auto server = IngestServer::Create(options);
+  if (!server.ok()) Die("IngestServer::Create", server.status());
+  if (Status s = (*server)->Start(); !s.ok()) Die("IngestServer::Start", s);
+  const int64_t domain = options.archetype.domain_size;
+
+  std::vector<IngestClient> clients;
+  clients.reserve(static_cast<size_t>(cell.connections));
+  for (int c = 0; c < cell.connections; ++c) {
+    auto client = IngestClient::Connect("127.0.0.1", (*server)->port());
+    if (!client.ok()) Die("IngestClient::Connect", client.status());
+    clients.push_back(std::move(client).value());
+  }
+
+  std::vector<std::vector<KeyedSample>> replay(clients.size());
+  std::atomic<bool> failed{false};
+  const double per_conn_rate =
+      cell.offered_load > 0.0
+          ? cell.offered_load / static_cast<double>(cell.connections)
+          : 0.0;
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (int c = 0; c < cell.connections; ++c) {
+    threads.emplace_back([&, c, domain] {
+      IngestClient& client = clients[static_cast<size_t>(c)];
+      std::vector<KeyedSample>& kept = replay[static_cast<size_t>(c)];
+      const uint64_t key = NetKeyOf(cell_index, c);
+      Rng rng(0xd00d + cell_index * 131 + static_cast<uint64_t>(c));
+      std::vector<KeyedSample> batch(static_cast<size_t>(cell.batch));
+      const auto start = std::chrono::steady_clock::now();
+      for (int64_t b = 0; b < cell.batches_per_client; ++b) {
+        for (KeyedSample& sample : batch) {
+          sample.key = key;
+          sample.value = rng.UniformInt(domain);
+        }
+        auto result = client.Ingest(batch);
+        if (!result.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (!result->rejected) {
+          // Reconstruct the accepted subsequence from the recorded stride —
+          // the replay gate's input, and the client's weight correction.
+          const uint64_t stride = uint64_t{1} << result->ack.keep_shift;
+          for (size_t i = 0; i < batch.size(); i += stride) {
+            kept.push_back(batch[i]);
+          }
+        }
+        if (per_conn_rate > 0.0) {
+          const double target_s =
+              static_cast<double>((b + 1) * cell.batch) / per_conn_rate;
+          std::this_thread::sleep_until(
+              start + std::chrono::microseconds(
+                          static_cast<int64_t>(target_s * 1e6)));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double ms = timer.ElapsedMillis();
+  if (failed.load(std::memory_order_relaxed)) {
+    Die("net ingest", Status::Invalid("a client failed mid-stream"));
+  }
+
+  // The server reports its own latency SLOs over the wire (dogfood: these
+  // quantiles come from the library's streaming histograms).
+  auto probe = IngestClient::Connect("127.0.0.1", (*server)->port());
+  if (!probe.ok()) Die("IngestClient::Connect(probe)", probe.status());
+  auto stats = probe->Stats();
+  if (!stats.ok()) Die("Stats", stats.status());
+
+  for (IngestClient& client : clients) client.Close();
+  if (Status s = (*server)->Shutdown(); !s.ok()) Die("Shutdown", s);
+
+  // Accounting gate: the server's accepted count must equal what the ACKs
+  // told the clients they kept.
+  uint64_t replayed = 0;
+  for (const auto& kept : replay) replayed += kept.size();
+  if (stats->samples_accepted != replayed) {
+    std::fprintf(stderr,
+                 "bench_service: server accepted %llu != ACK-reconstructed "
+                 "%llu\n",
+                 static_cast<unsigned long long>(stats->samples_accepted),
+                 static_cast<unsigned long long>(replayed));
+    return false;
+  }
+  if (cell.overload &&
+      (stats->samples_shed == 0 || stats->batches_rejected == 0)) {
+    std::fprintf(stderr,
+                 "bench_service: overload cell shed %llu / rejected %llu "
+                 "batches — the watermarks never tripped\n",
+                 static_cast<unsigned long long>(stats->samples_shed),
+                 static_cast<unsigned long long>(stats->batches_rejected));
+    return false;
+  }
+  // Bounded-queue gate: depth never exceeds hard watermark + one batch.
+  if (stats->max_queue_depth >=
+      options.hard_watermark + static_cast<uint64_t>(cell.batch)) {
+    std::fprintf(stderr, "bench_service: queue depth %llu busts the bound\n",
+                 static_cast<unsigned long long>(stats->max_queue_depth));
+    return false;
+  }
+
+  // The replay gate itself: bit-identical per-key summaries.
+  auto offline = SummaryStore::Create(options.archetype);
+  if (!offline.ok()) Die("SummaryStore::Create", offline.status());
+  for (const auto& kept : replay) {
+    if (kept.empty()) continue;
+    if (Status s = offline->AddBatch(kept); !s.ok()) Die("AddBatch", s);
+  }
+  for (int c = 0; c < cell.connections; ++c) {
+    if (replay[static_cast<size_t>(c)].empty()) continue;
+    const uint64_t key = NetKeyOf(cell_index, c);
+    auto drained = (*server)->store().ExportKeyedSnapshot(key,
+                                                          options.shard_id);
+    if (!drained.ok()) Die("ExportKeyedSnapshot", drained.status());
+    auto expected = offline->ExportKeyedSnapshot(key, options.shard_id);
+    if (!expected.ok()) Die("ExportKeyedSnapshot", expected.status());
+    if (EncodeShardSnapshot(*drained) != EncodeShardSnapshot(*expected)) {
+      std::fprintf(stderr,
+                   "bench_service: key %llu drained summary != offline "
+                   "replay of accepted samples\n",
+                   static_cast<unsigned long long>(key));
+      return false;
+    }
+  }
+
+  *out_ms = ms;
+  *out_stats = *stats;
+  return true;
+}
+
+int RunNetGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
+  // The saturation sweep (offered_load 0 = closed-loop max), one paced cell
+  // below saturation, and one cell deliberately past it.
+  const std::vector<NetCell> cells =
+      smoke ? std::vector<NetCell>{{1, 128, 24, 0.0, false},
+                                   {2, 64, 60, 0.0, true}}
+            : std::vector<NetCell>{{1, 64, 800, 0.0, false},
+                                   {1, 512, 120, 0.0, false},
+                                   {2, 64, 400, 0.0, false},
+                                   {2, 512, 60, 0.0, false},
+                                   {4, 64, 200, 0.0, false},
+                                   {4, 512, 30, 0.0, false},
+                                   {2, 256, 120, 250000.0, false},
+                                   {2, 256, 200, 0.0, true}};
+
+  TablePrinter table({"conns", "batch", "offered/s", "Msamp/s", "accepted",
+                      "shed", "rejected", "p50 us", "p99 us", "p99.5 us",
+                      "max q"});
+
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    const NetCell& cell = cells[ci];
+    double best_ms = 0.0;
+    ServerStats stats;
+    for (int rep = 0; rep < reps; ++rep) {
+      double ms = 0.0;
+      ServerStats rep_stats;
+      if (!RunNetCellOnce(cell, ci, smoke, &ms, &rep_stats)) return 2;
+      if (best_ms == 0.0 || ms < best_ms) best_ms = ms;
+      stats = rep_stats;  // deterministic counters; latencies from last rep
+    }
+
+    const double accepted = static_cast<double>(stats.samples_accepted);
+    const double shed = static_cast<double>(stats.samples_shed);
+    const double rejected = static_cast<double>(
+        stats.samples_offered - stats.samples_accepted - stats.samples_shed);
+    const double msamples_per_s = accepted / (best_ms * 1e3);
+    // Clients + the server's event-loop thread all want a core.
+    const int threads_effective = EffectiveParallelism(cell.connections + 1);
+
+    std::string name = "net_c" + std::to_string(cell.connections) + "_b" +
+                       std::to_string(cell.batch);
+    if (cell.overload) {
+      name += "_overload";
+    } else if (cell.offered_load > 0.0) {
+      name += "_load" + std::to_string(static_cast<int64_t>(
+                            cell.offered_load));
+    } else {
+      name += "_sat";
+    }
+    writer.Add(name,
+               {{"connections", static_cast<double>(cell.connections)},
+                {"batch", static_cast<double>(cell.batch)},
+                {"offered_load", cell.offered_load},
+                {"overload_cell", cell.overload ? 1.0 : 0.0},
+                {"threads_effective", static_cast<double>(threads_effective)},
+                {"reps", static_cast<double>(reps)},
+                {"ms", best_ms},
+                {"offered", static_cast<double>(stats.samples_offered)},
+                {"accepted", accepted},
+                {"shed", shed},
+                {"rejected", rejected},
+                {"batches_rejected",
+                 static_cast<double>(stats.batches_rejected)},
+                {"max_queue_depth",
+                 static_cast<double>(stats.max_queue_depth)},
+                {"flushes_size", static_cast<double>(stats.flushes_size)},
+                {"flushes_deadline",
+                 static_cast<double>(stats.flushes_deadline)},
+                {"msamples_per_s", msamples_per_s},
+                {"p50_us", stats.ingest_p50_us},
+                {"p99_us", stats.ingest_p99_us},
+                {"p995_us", stats.ingest_p995_us}});
+    table.AddRow({TablePrinter::FormatInt(cell.connections),
+                  TablePrinter::FormatInt(cell.batch),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(cell.offered_load)),
+                  TablePrinter::FormatDouble(msamples_per_s, 2),
+                  TablePrinter::FormatDouble(accepted, 0),
+                  TablePrinter::FormatDouble(shed, 0),
+                  TablePrinter::FormatDouble(rejected, 0),
+                  TablePrinter::FormatDouble(stats.ingest_p50_us, 1),
+                  TablePrinter::FormatDouble(stats.ingest_p99_us, 1),
+                  TablePrinter::FormatDouble(stats.ingest_p995_us, 1),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(stats.max_queue_depth))});
+  }
+
+  table.Print(std::cout);
+  return 0;
+}
+
+#endif  // FASTHIST_HAVE_NET
+
 }  // namespace
 }  // namespace fasthist
 
@@ -690,11 +978,15 @@ int main(int argc, char** argv) {
   const bool grid_flag = HasFlag(argc, argv, "--grid");
   const bool striped_flag = HasFlag(argc, argv, "--striped-grid");
   const bool store_flag = HasFlag(argc, argv, "--store-grid");
+  const bool net_flag = HasFlag(argc, argv, "--net-grid");
   const char* out = FlagValue(argc, argv, "--out=");
   const std::string out_path = out != nullptr ? out : "BENCH_service.json";
   const char* store_out = FlagValue(argc, argv, "--store-out=");
   const std::string store_out_path =
       store_out != nullptr ? store_out : "BENCH_store.json";
+  const char* net_out = FlagValue(argc, argv, "--net-out=");
+  const std::string net_out_path =
+      net_out != nullptr ? net_out : "BENCH_net.json";
 
   // Min-of-R rep count: --reps=N, floored at 3 (below that a minimum is
   // just a sample).
@@ -708,9 +1000,11 @@ int main(int argc, char** argv) {
   }
 
   // With no shard-level flag, run both shard grids into the same trajectory
-  // file.  The keyed store grid is opt-in only and writes its own file.
-  const bool run_grid = grid_flag || (!striped_flag && !store_flag);
-  const bool run_striped = striped_flag || (!grid_flag && !store_flag);
+  // file.  The keyed store and net grids are opt-in only and write their own
+  // files.
+  const bool run_grid = grid_flag || (!striped_flag && !store_flag && !net_flag);
+  const bool run_striped =
+      striped_flag || (!grid_flag && !store_flag && !net_flag);
 
   fasthist::bench_util::JsonBenchWriter writer("service");
   writer.AddContext("domain", static_cast<double>(fasthist::kDomain));
@@ -763,6 +1057,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("\nwrote %s\n", store_out_path.c_str());
+  }
+
+  if (net_flag) {
+#if defined(FASTHIST_HAVE_NET)
+    fasthist::bench_util::JsonBenchWriter net_writer("net");
+    net_writer.AddContext("hardware_threads",
+                          static_cast<double>(
+                              std::thread::hardware_concurrency()));
+    net_writer.AddContext("smoke", smoke ? 1.0 : 0.0);
+    net_writer.AddContext("reps", static_cast<double>(reps));
+    rc = fasthist::RunNetGrid(smoke, reps, net_writer);
+    if (rc != 0) return rc;
+    if (!net_writer.WriteFile(net_out_path)) {
+      std::fprintf(stderr, "bench_service: cannot write %s\n",
+                   net_out_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", net_out_path.c_str());
+#else
+    std::fprintf(stderr,
+                 "bench_service: --net-grid requires the POSIX net/ layer, "
+                 "which this build does not include\n");
+    return 2;
+#endif
   }
   return 0;
 }

@@ -1,0 +1,234 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace fasthist {
+namespace {
+
+std::string ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformed:
+      return "MALFORMED";
+    case ErrorCode::kUnknownKey:
+      return "UNKNOWN_KEY";
+    case ErrorCode::kEmptyKey:
+      return "EMPTY_KEY";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kShuttingDown:
+      return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+StatusOr<IngestClient> IngestClient::Connect(const std::string& address,
+                                             uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Invalid("IngestClient: cannot create socket");
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::Invalid("IngestClient: bad address: " + address);
+  }
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    close(fd);
+    return Status::Invalid("IngestClient: connect failed: " +
+                           std::string(strerror(errno)));
+  }
+  const int one = 1;
+  // Best-effort: small request/reply frames should not wait on Nagle.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return IngestClient(fd);
+}
+
+IngestClient::IngestClient(IngestClient&& other) noexcept
+    : fd_(other.fd_), parser_(std::move(other.parser_)) {
+  other.fd_ = -1;
+}
+
+IngestClient& IngestClient::operator=(IngestClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    parser_ = std::move(other.parser_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+IngestClient::~IngestClient() { Close(); }
+
+void IngestClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status IngestClient::SendFrame(FrameType type, Span<const uint8_t> payload) {
+  if (fd_ < 0) {
+    return Status::Invalid("IngestClient: connection is closed");
+  }
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Invalid("IngestClient: write failed: " +
+                             std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> IngestClient::ReceiveFrame() {
+  if (fd_ < 0) {
+    return Status::Invalid("IngestClient: connection is closed");
+  }
+  Frame frame;
+  uint8_t buffer[65536];
+  for (;;) {
+    switch (parser_.Next(&frame)) {
+      case FrameParser::Result::kFrame:
+        if (frame.type == FrameType::kError) {
+          auto error = DecodeErrorReply(
+              Span<const uint8_t>(frame.payload.data(), frame.payload.size()));
+          if (!error.ok()) {
+            Close();
+            return Status::Invalid(
+                "IngestClient: undecodable server error frame");
+          }
+          // A malformed-stream verdict means the server is about to drop the
+          // connection; stop reusing it on this side too.
+          if (error->code == ErrorCode::kMalformed) Close();
+          return Status::Invalid("server error [" + ErrorCodeName(error->code) +
+                                 "]: " + error->message);
+        }
+        return frame;
+      case FrameParser::Result::kMalformed:
+        Close();
+        return Status::Invalid("IngestClient: malformed frame from server");
+      case FrameParser::Result::kNeedMore:
+        break;
+    }
+    const ssize_t n = read(fd_, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Invalid("IngestClient: read failed: " +
+                             std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      Close();
+      return Status::Invalid("IngestClient: connection closed mid-reply");
+    }
+    parser_.Consume(Span<const uint8_t>(buffer, static_cast<size_t>(n)));
+  }
+}
+
+StatusOr<IngestClient::IngestResult> IngestClient::Ingest(
+    Span<const KeyedSample> samples) {
+  const std::vector<uint8_t> payload = EncodeIngestPayload(samples);
+  if (Status s = SendFrame(FrameType::kIngest,
+                           Span<const uint8_t>(payload.data(), payload.size()));
+      !s.ok()) {
+    return s;
+  }
+  auto reply = ReceiveFrame();
+  if (!reply.ok()) return reply.status();
+  IngestResult result;
+  if (reply->type == FrameType::kIngestAck) {
+    auto ack = DecodeIngestAck(
+        Span<const uint8_t>(reply->payload.data(), reply->payload.size()));
+    if (!ack.ok()) return ack.status();
+    result.ack = *ack;
+    return result;
+  }
+  if (reply->type == FrameType::kRejected) {
+    auto info = DecodeRejectedInfo(
+        Span<const uint8_t>(reply->payload.data(), reply->payload.size()));
+    if (!info.ok()) return info.status();
+    result.rejected = true;
+    result.rejected_info = *info;
+    return result;
+  }
+  Close();
+  return Status::Invalid("IngestClient: unexpected reply to kIngest");
+}
+
+StatusOr<ShardSnapshot> IngestClient::PullSnapshot(uint64_t key) {
+  const std::vector<uint8_t> payload = EncodeKeyPayload(key);
+  if (Status s =
+          SendFrame(FrameType::kSnapshotPull,
+                    Span<const uint8_t>(payload.data(), payload.size()));
+      !s.ok()) {
+    return s;
+  }
+  auto reply = ReceiveFrame();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kSnapshotPush) {
+    Close();
+    return Status::Invalid("IngestClient: unexpected reply to kSnapshotPull");
+  }
+  return DecodeShardSnapshot(reply->payload.data(), reply->payload.size());
+}
+
+StatusOr<QuantileReply> IngestClient::Quantile(uint64_t key, double q) {
+  QuantileQuery query;
+  query.key = key;
+  query.q = q;
+  const std::vector<uint8_t> payload = EncodeQuantileQuery(query);
+  if (Status s =
+          SendFrame(FrameType::kQuantileQuery,
+                    Span<const uint8_t>(payload.data(), payload.size()));
+      !s.ok()) {
+    return s;
+  }
+  auto reply = ReceiveFrame();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kQuantileReply) {
+    Close();
+    return Status::Invalid("IngestClient: unexpected reply to kQuantileQuery");
+  }
+  return DecodeQuantileReply(
+      Span<const uint8_t>(reply->payload.data(), reply->payload.size()));
+}
+
+StatusOr<ServerStats> IngestClient::Stats() {
+  if (Status s = SendFrame(FrameType::kStats, Span<const uint8_t>());
+      !s.ok()) {
+    return s;
+  }
+  auto reply = ReceiveFrame();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kStatsReply) {
+    Close();
+    return Status::Invalid("IngestClient: unexpected reply to kStats");
+  }
+  return DecodeServerStats(
+      Span<const uint8_t>(reply->payload.data(), reply->payload.size()));
+}
+
+}  // namespace fasthist

@@ -1,0 +1,195 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/clock.h"
+
+namespace fasthist {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Invalid("EventLoop: cannot set O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+EventLoop::EventLoop(int wake_read_fd, int wake_write_fd)
+    : wake_read_fd_(wake_read_fd), wake_write_fd_(wake_write_fd) {}
+
+StatusOr<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return Status::Invalid("EventLoop: cannot create wake pipe");
+  }
+  for (const int fd : fds) {
+    if (Status s = SetNonBlocking(fd); !s.ok()) {
+      close(fds[0]);
+      close(fds[1]);
+      return s;
+    }
+  }
+  return std::unique_ptr<EventLoop>(new EventLoop(fds[0], fds[1]));
+}
+
+EventLoop::~EventLoop() {
+  close(wake_read_fd_);
+  close(wake_write_fd_);
+}
+
+Status EventLoop::Watch(int fd, bool want_read, bool want_write,
+                        IoCallback callback) {
+  if (fd < 0 || !callback) {
+    return Status::Invalid("EventLoop::Watch: bad fd or empty callback");
+  }
+  watched_[fd] = Watched{want_read, want_write, std::move(callback)};
+  return Status::Ok();
+}
+
+Status EventLoop::SetInterest(int fd, bool want_read, bool want_write) {
+  auto it = watched_.find(fd);
+  if (it == watched_.end()) {
+    return Status::Invalid("EventLoop::SetInterest: fd is not watched");
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  return Status::Ok();
+}
+
+void EventLoop::Unwatch(int fd) { watched_.erase(fd); }
+
+uint64_t EventLoop::ScheduleAt(uint64_t deadline_nanos,
+                               std::function<void()> fn) {
+  const uint64_t id = next_timer_id_++;
+  timers_.emplace(std::make_pair(deadline_nanos, id), std::move(fn));
+  return id;
+}
+
+void EventLoop::Cancel(uint64_t timer_id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == timer_id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+    if (!wake_pending_) {
+      wake_pending_ = true;
+      need_wake = true;
+    }
+  }
+  if (need_wake) {
+    const char byte = 1;
+    // A full pipe still wakes the loop (earlier bytes are unread), so a
+    // short write here is benign.
+    (void)!write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void EventLoop::Quit() {
+  // Routed through Post so quit_ is only ever touched on the loop thread.
+  Post([this] { quit_ = true; });
+}
+
+void EventLoop::DrainWakePipe() {
+  char buffer[64];
+  while (read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks.swap(posted_);
+    wake_pending_ = false;
+  }
+  for (auto& task : tasks) task();
+}
+
+int EventLoop::NextTimerTimeoutMillis() const {
+  if (timers_.empty()) return -1;
+  const uint64_t now = MonotonicNanos();
+  const uint64_t deadline = timers_.begin()->first.first;
+  if (deadline <= now) return 0;
+  const uint64_t millis = (deadline - now + 999999) / 1000000;
+  // Clamp: poll takes int millis, and re-polling once a minute costs
+  // nothing against a far-future timer.
+  return millis > 60000 ? 60000 : static_cast<int>(millis);
+}
+
+void EventLoop::RunDueTimers() {
+  const uint64_t now = MonotonicNanos();
+  // Timers may schedule new timers; re-examine the front each round so a
+  // callback-scheduled past-due timer still runs this iteration.
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    auto fn = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    fn();
+  }
+}
+
+void EventLoop::Run() {
+  std::vector<struct pollfd> pollfds;
+  std::vector<int> ready;
+  while (!quit_) {
+    pollfds.clear();
+    pollfds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const auto& [fd, watched] : watched_) {
+      short events = 0;
+      if (watched.want_read) events |= POLLIN;
+      if (watched.want_write) events |= POLLOUT;
+      if (events != 0) pollfds.push_back({fd, events, 0});
+    }
+
+    const int timeout = NextTimerTimeoutMillis();
+    const int rc = poll(pollfds.data(), pollfds.size(), timeout);
+    if (rc < 0 && errno != EINTR) break;  // unrecoverable poll failure
+
+    RunDueTimers();
+    if (rc > 0) {
+      if ((pollfds[0].revents & POLLIN) != 0) DrainWakePipe();
+      // Snapshot the ready fds before dispatching: callbacks may Watch or
+      // Unwatch (invalidating watched_ iterators), so dispatch re-checks
+      // membership per fd instead of holding an iterator across calls.
+      ready.clear();
+      for (size_t i = 1; i < pollfds.size(); ++i) {
+        if (pollfds[i].revents != 0) ready.push_back(i);
+      }
+      for (const int idx : ready) {
+        const struct pollfd& pfd = pollfds[static_cast<size_t>(idx)];
+        auto it = watched_.find(pfd.fd);
+        if (it == watched_.end()) continue;  // unwatched by an earlier callback
+        IoEvent event;
+        event.readable = (pfd.revents & POLLIN) != 0;
+        event.writable = (pfd.revents & POLLOUT) != 0;
+        event.error = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+        // Copy the callback: it may Unwatch(fd) (destroying the stored
+        // std::function mid-call) and the copy keeps `this` alive through
+        // the invocation.
+        IoCallback callback = it->second.callback;
+        callback(event);
+      }
+    }
+    RunPostedTasks();
+  }
+  // A final drain so tasks posted just before Quit still run.
+  RunPostedTasks();
+  quit_ = false;  // the loop is reusable (tests run it more than once)
+}
+
+}  // namespace fasthist

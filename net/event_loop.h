@@ -1,0 +1,105 @@
+#ifndef FASTHIST_NET_EVENT_LOOP_H_
+#define FASTHIST_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fasthist {
+
+// A portable poll(2)-based event loop: nonblocking fds, level-triggered
+// readiness callbacks, monotonic one-shot timers, and a thread-safe Post
+// queue — no epoll/kqueue/io_uring, no external dependencies, so it builds
+// anywhere POSIX poll exists.  One loop is one thread: every callback runs
+// on the thread inside Run(), so loop-owned state (the ingest server's
+// connections, queues, store, and latency recorders) needs no locks at all.
+// The only cross-thread surfaces are Post() and Quit(), which funnel
+// through a mutex-guarded task queue plus a self-pipe wakeup.
+//
+// Readiness semantics are level-triggered like poll itself: a Watch(read)
+// callback keeps firing while the fd stays readable, so handlers must drain
+// (or Unwatch) before returning to avoid a hot loop.  Error/hangup
+// conditions (POLLERR/POLLHUP/POLLNVAL) are reported to the same callback
+// as `error = true`; the handler decides whether to tear the fd down.
+class EventLoop {
+ public:
+  struct IoEvent {
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+  using IoCallback = std::function<void(IoEvent)>;
+
+  // Creation opens the self-pipe; the only failure mode is fd exhaustion.
+  static StatusOr<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers (or re-registers) `fd` with the given interest set.  The
+  // callback is invoked on the loop thread whenever poll reports matching
+  // readiness.  Loop-thread only.
+  Status Watch(int fd, bool want_read, bool want_write, IoCallback callback);
+
+  // Adjusts the interest set of an already-watched fd, keeping its
+  // callback.  Loop-thread only.
+  Status SetInterest(int fd, bool want_read, bool want_write);
+
+  // Stops watching `fd` (the caller still owns and closes it).  Safe to
+  // call from inside the fd's own callback.  Loop-thread only.
+  void Unwatch(int fd);
+
+  // One-shot timer: runs `fn` on the loop thread once MonotonicNanos()
+  // reaches `deadline_nanos`.  Returns an id for Cancel.  Loop-thread only.
+  uint64_t ScheduleAt(uint64_t deadline_nanos, std::function<void()> fn);
+  void Cancel(uint64_t timer_id);
+
+  // Enqueues `fn` to run on the loop thread and wakes the loop.  The one
+  // entry point other threads may call (besides Quit) — everything a
+  // foreign thread wants done to loop state goes through here.
+  void Post(std::function<void()> fn);
+
+  // Runs until Quit: poll, dispatch io callbacks, run due timers, drain
+  // posted tasks.  Returns after a Quit posted from any thread.
+  void Run();
+
+  // Thread-safe: asks Run() to return after the current iteration.
+  void Quit();
+
+ private:
+  EventLoop(int wake_read_fd, int wake_write_fd);
+
+  void DrainWakePipe();
+  void RunPostedTasks();
+  // Milliseconds until the nearest timer (clamped for poll), or -1.
+  int NextTimerTimeoutMillis() const;
+  void RunDueTimers();
+
+  struct Watched {
+    bool want_read = false;
+    bool want_write = false;
+    IoCallback callback;
+  };
+
+  int wake_read_fd_;
+  int wake_write_fd_;
+  std::map<int, Watched> watched_;
+  // Timers keyed by (deadline, id): multimap order is fire order.
+  std::map<std::pair<uint64_t, uint64_t>, std::function<void()>> timers_;
+  uint64_t next_timer_id_ = 1;
+  bool quit_ = false;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool wake_pending_ = false;  // guarded by post_mutex_; dedupes pipe writes
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_NET_EVENT_LOOP_H_

@@ -1,0 +1,542 @@
+#include "net/ingest_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace fasthist {
+namespace {
+
+Status SetNonBlockingFd(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Invalid("net: cannot set O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// Per-connection state, owned by the loop thread.  The queue is the
+// backpressure boundary: bounded by hard_watermark plus one decoded batch,
+// flushed to the store on size or deadline.
+struct IngestServer::Connection {
+  explicit Connection(int fd_in, uint64_t max_payload)
+      : fd(fd_in), parser(max_payload) {}
+
+  int fd;
+  FrameParser parser;
+  std::vector<KeyedSample> queue;
+  uint64_t first_enqueue_ns = 0;
+  uint64_t flush_timer_id = 0;  // 0 = no deadline timer pending
+  std::vector<uint8_t> out;     // unwritten reply bytes
+  size_t out_pos = 0;
+  bool dropping = false;  // error replied; close once `out` drains
+};
+
+IngestServer::IngestServer(IngestServerOptions options)
+    : options_(std::move(options)) {}
+
+IngestServer::~IngestServer() {
+  (void)Shutdown();
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+StatusOr<std::unique_ptr<IngestServer>> IngestServer::Create(
+    const IngestServerOptions& options) {
+  if (options.soft_watermark == 0 ||
+      options.soft_watermark >= options.hard_watermark) {
+    return Status::Invalid(
+        "IngestServer: watermarks must satisfy 0 < soft < hard");
+  }
+  if (options.flush_batch == 0) {
+    return Status::Invalid("IngestServer: flush_batch must be positive");
+  }
+  if (options.max_frame_payload < 24) {
+    return Status::Invalid("IngestServer: max_frame_payload too small");
+  }
+  if (options.max_connections < 1) {
+    return Status::Invalid("IngestServer: max_connections must be positive");
+  }
+  std::unique_ptr<IngestServer> server(new IngestServer(options));
+
+  auto store = SummaryStore::Create(options.archetype);
+  if (!store.ok()) return store.status();
+  server->store_ =
+      std::make_unique<SummaryStore>(std::move(store).value());
+
+  auto ingest_latency = LatencyRecorder::Create();
+  if (!ingest_latency.ok()) return ingest_latency.status();
+  server->ingest_latency_ =
+      std::make_unique<LatencyRecorder>(std::move(ingest_latency).value());
+  auto query_latency = LatencyRecorder::Create();
+  if (!query_latency.ok()) return query_latency.status();
+  server->query_latency_ =
+      std::make_unique<LatencyRecorder>(std::move(query_latency).value());
+
+  auto loop = EventLoop::Create();
+  if (!loop.ok()) return loop.status();
+  server->loop_ = std::move(loop).value();
+
+  if (Status s = server->Bind(); !s.ok()) return s;
+  return server;
+}
+
+Status IngestServer::Bind() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Invalid("IngestServer: socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("IngestServer: bad bind address " +
+                           options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::Invalid("IngestServer: bind() failed: " +
+                           std::string(strerror(errno)));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::Invalid("IngestServer: listen() failed");
+  }
+  if (Status s = SetNonBlockingFd(listen_fd_); !s.ok()) return s;
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::Invalid("IngestServer: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Status IngestServer::Start() {
+  if (started_) return Status::Invalid("IngestServer: already started");
+  // Registered before the thread exists, so no cross-thread Watch: once
+  // Run() begins, all loop-state mutation happens via loop callbacks.
+  if (Status s = loop_->Watch(listen_fd_, /*want_read=*/true,
+                              /*want_write=*/false,
+                              [this](EventLoop::IoEvent) {
+                                OnListenerReadable();
+                              });
+      !s.ok()) {
+    return s;
+  }
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  return Status::Ok();
+}
+
+Status IngestServer::Shutdown() {
+  if (!started_ || stopped_) return Status::Ok();
+  stopped_ = true;
+  loop_->Post([this] { GracefulStop(); });
+  loop_thread_.join();
+  return Status::Ok();
+}
+
+void IngestServer::GracefulStop() {
+  if (listen_fd_ >= 0) {
+    loop_->Unwatch(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: every connection's queued samples are flushed (partial deadline
+  // batches included) before the loop dies — CloseConnection flushes.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) CloseConnection(fd);
+  loop_->Quit();
+}
+
+ServerStats IngestServer::stats() const { return BuildStats(); }
+
+ServerStats IngestServer::BuildStats() const {
+  ServerStats stats = counters_;
+  if (auto s = ingest_latency_->Stats(); s.ok()) {
+    stats.ingest_p50_us = s->p50_us;
+    stats.ingest_p99_us = s->p99_us;
+    stats.ingest_p995_us = s->p995_us;
+    stats.ingest_count = s->count;
+  }
+  if (auto s = query_latency_->Stats(); s.ok()) {
+    stats.query_p50_us = s->p50_us;
+    stats.query_p99_us = s->p99_us;
+    stats.query_p995_us = s->p995_us;
+    stats.query_count = s->count;
+  }
+  return stats;
+}
+
+void IngestServer::OnListenerReadable() {
+  // Accept until EAGAIN (level-triggered poll would re-fire anyway, but
+  // draining here saves wakeups under an accept burst).
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK or a transient error
+    if (connections_.size() >=
+        static_cast<size_t>(options_.max_connections)) {
+      close(fd);
+      ++counters_.connections_dropped;
+      continue;
+    }
+    if (!SetNonBlockingFd(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace(
+        fd, std::make_unique<Connection>(fd, options_.max_frame_payload));
+    ++counters_.connections_accepted;
+    (void)loop_->Watch(fd, /*want_read=*/true, /*want_write=*/false,
+                       [this, fd](EventLoop::IoEvent event) {
+                         OnConnectionIo(fd, event);
+                       });
+  }
+}
+
+void IngestServer::OnConnectionIo(int fd, EventLoop::IoEvent event) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (event.error) {
+    CloseConnection(fd);
+    return;
+  }
+  if (event.writable) {
+    PumpWrites(conn);
+    if (connections_.find(fd) == connections_.end()) return;  // drained+closed
+  }
+  if (event.readable) OnConnectionReadable(conn);
+}
+
+void IngestServer::OnConnectionReadable(Connection& conn) {
+  const int fd = conn.fd;
+  uint8_t buffer[65536];
+  for (;;) {
+    const ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConnection(fd);
+      return;
+    }
+    if (n == 0) {
+      // Orderly EOF: the peer is done sending; its queued samples were
+      // accepted and ACKed, so they flush into the store before teardown.
+      CloseConnection(fd);
+      return;
+    }
+    conn.parser.Consume(Span<const uint8_t>(buffer, static_cast<size_t>(n)));
+    Frame frame;
+    for (;;) {
+      const FrameParser::Result result = conn.parser.Next(&frame);
+      if (result == FrameParser::Result::kNeedMore) break;
+      if (result == FrameParser::Result::kMalformed) {
+        DropConnection(conn, ErrorCode::kMalformed, "malformed frame header");
+        return;
+      }
+      HandleFrame(conn, frame);
+      // The handler may have dropped or closed the connection; re-resolve
+      // before touching it again.
+      auto it = connections_.find(fd);
+      if (it == connections_.end() || it->second->dropping) return;
+    }
+    if (static_cast<size_t>(n) < sizeof(buffer)) break;  // socket drained
+  }
+}
+
+void IngestServer::HandleFrame(Connection& conn, const Frame& frame) {
+  ++counters_.frames_received;
+  const uint64_t start_ns = MonotonicNanos();
+  switch (frame.type) {
+    case FrameType::kIngest:
+      HandleIngest(conn, frame, start_ns);
+      return;
+    case FrameType::kSnapshotPull:
+      HandleSnapshotPull(conn, frame, start_ns);
+      return;
+    case FrameType::kQuantileQuery:
+      HandleQuantileQuery(conn, frame, start_ns);
+      return;
+    case FrameType::kStats:
+      HandleStats(conn, start_ns);
+      return;
+    default:
+      // Reply-direction types arriving as requests are a protocol
+      // violation, handled like any other malformed input.
+      DropConnection(conn, ErrorCode::kMalformed,
+                     "unexpected frame type for a request");
+      return;
+  }
+}
+
+void IngestServer::HandleIngest(Connection& conn, const Frame& frame,
+                                uint64_t start_ns) {
+  auto samples = DecodeIngestPayload(frame.payload);
+  if (!samples.ok()) {
+    DropConnection(conn, ErrorCode::kMalformed, samples.status().message());
+    return;
+  }
+  const int64_t domain = options_.archetype.domain_size;
+  for (const KeyedSample& sample : *samples) {
+    if (sample.value < 0 || sample.value >= domain) {
+      DropConnection(conn, ErrorCode::kMalformed,
+                     "sample value outside the server's domain");
+      return;
+    }
+  }
+  const uint64_t offered = samples->size();
+  counters_.samples_offered += offered;
+  const size_t depth = conn.queue.size();
+
+  if (depth >= options_.hard_watermark) {
+    // Hard tier: refuse outright.  The client keeps the samples and the
+    // decision; server memory stays bounded.
+    ++counters_.batches_rejected;
+    RejectedInfo info;
+    info.queue_depth = depth;
+    info.hard_watermark = options_.hard_watermark;
+    const std::vector<uint8_t> payload = EncodeRejectedInfo(info);
+    SendFrame(conn, FrameType::kRejected, payload);
+    ingest_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
+
+  // Soft tier: degrade to sampling with a depth-escalated stride (header
+  // comment in ingest_server.h documents the formula and why it is
+  // deterministic).
+  uint32_t keep_shift = 0;
+  if (depth > options_.soft_watermark) {
+    const size_t span = options_.hard_watermark - options_.soft_watermark;
+    const size_t excess = depth - options_.soft_watermark;
+    keep_shift = 1 + static_cast<uint32_t>((3 * excess) / span);
+    if (keep_shift > 4) keep_shift = 4;
+  }
+  const uint64_t stride = uint64_t{1} << keep_shift;
+
+  const bool was_empty = conn.queue.empty();
+  uint64_t kept = 0;
+  for (uint64_t i = 0; i < offered; i += stride) {
+    conn.queue.push_back((*samples)[static_cast<size_t>(i)]);
+    ++kept;
+  }
+  counters_.samples_accepted += kept;
+  counters_.samples_shed += offered - kept;
+  ++counters_.batches_ingested;
+  counters_.max_queue_depth =
+      std::max(counters_.max_queue_depth,
+               static_cast<uint64_t>(conn.queue.size()));
+
+  if (was_empty && kept > 0) {
+    conn.first_enqueue_ns = start_ns;
+    ScheduleDeadlineFlush(conn);
+  }
+
+  IngestAck ack;
+  ack.accepted = kept;
+  ack.shed = offered - kept;
+  ack.keep_shift = keep_shift;
+  const std::vector<uint8_t> payload = EncodeIngestAck(ack);
+  SendFrame(conn, FrameType::kIngestAck, payload);
+
+  if (conn.queue.size() >= options_.flush_batch) {
+    ++counters_.flushes_size;
+    FlushQueue(conn);
+  }
+  ingest_latency_->Record(MonotonicNanos() - start_ns);
+}
+
+void IngestServer::HandleSnapshotPull(Connection& conn, const Frame& frame,
+                                      uint64_t start_ns) {
+  auto key = DecodeKeyPayload(frame.payload);
+  if (!key.ok()) {
+    DropConnection(conn, ErrorCode::kMalformed, key.status().message());
+    return;
+  }
+  // A snapshot reflects everything accepted so far, not everything flushed
+  // so far: pull drains every connection's queue first (fd order, the same
+  // deterministic order GracefulStop uses).
+  for (auto& [fd, other] : connections_) {
+    (void)fd;
+    FlushQueue(*other);
+  }
+  if (!store_->Contains(*key)) {
+    SendError(conn, ErrorCode::kUnknownKey, "no such key");
+    query_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
+  auto snapshot = store_->ExportKeyedSnapshot(*key, options_.shard_id);
+  if (!snapshot.ok()) {
+    SendError(conn, ErrorCode::kInternal, snapshot.status().message());
+    query_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
+  const std::vector<uint8_t> envelope = EncodeShardSnapshot(*snapshot);
+  SendFrame(conn, FrameType::kSnapshotPush, envelope);
+  query_latency_->Record(MonotonicNanos() - start_ns);
+}
+
+void IngestServer::HandleQuantileQuery(Connection& conn, const Frame& frame,
+                                       uint64_t start_ns) {
+  auto query = DecodeQuantileQuery(frame.payload);
+  if (!query.ok()) {
+    DropConnection(conn, ErrorCode::kMalformed, query.status().message());
+    return;
+  }
+  // Same freshness contract as a snapshot pull: the answer covers every
+  // accepted sample, including ones still sitting in connection queues.
+  for (auto& [fd, other] : connections_) {
+    (void)fd;
+    FlushQueue(*other);
+  }
+  if (!store_->Contains(query->key)) {
+    SendError(conn, ErrorCode::kUnknownKey, "no such key");
+    query_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
+  auto aggregator = store_->QueryAggregator(query->key);
+  if (!aggregator.ok()) {
+    // The key exists, so the only Create-time rejection is zero samples.
+    SendError(conn, ErrorCode::kEmptyKey, aggregator.status().message());
+    query_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
+  const double q = std::min(1.0, std::max(0.0, query->q));
+  QuantileReply reply;
+  reply.value = aggregator->Quantile(q);
+  reply.error_budget = aggregator->error_budget();
+  if (auto count = store_->NumSamples(query->key); count.ok()) {
+    reply.num_samples = *count;
+  }
+  const std::vector<uint8_t> payload = EncodeQuantileReply(reply);
+  SendFrame(conn, FrameType::kQuantileReply, payload);
+  query_latency_->Record(MonotonicNanos() - start_ns);
+}
+
+void IngestServer::HandleStats(Connection& conn, uint64_t start_ns) {
+  (void)start_ns;  // stats probes are not recorded into either op class
+  const std::vector<uint8_t> payload = EncodeServerStats(BuildStats());
+  SendFrame(conn, FrameType::kStatsReply, payload);
+}
+
+void IngestServer::FlushQueue(Connection& conn) {
+  if (conn.flush_timer_id != 0) {
+    loop_->Cancel(conn.flush_timer_id);
+    conn.flush_timer_id = 0;
+  }
+  if (conn.queue.empty()) return;
+  // Cannot fail in steady state: values were domain-validated at ingest and
+  // every key lives in archetype 0.  A failure here is a server bug, worth
+  // a loud log but not a crash mid-serve.
+  if (Status s = store_->AddBatch(conn.queue); !s.ok()) {
+    std::fprintf(stderr, "IngestServer: AddBatch failed: %s\n",
+                 s.message().c_str());
+  }
+  conn.queue.clear();
+  conn.first_enqueue_ns = 0;
+}
+
+void IngestServer::ScheduleDeadlineFlush(Connection& conn) {
+  const int fd = conn.fd;
+  const uint64_t deadline =
+      conn.first_enqueue_ns + options_.flush_deadline_us * 1000;
+  conn.flush_timer_id = loop_->ScheduleAt(deadline, [this, fd] {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& timed = *it->second;
+    timed.flush_timer_id = 0;
+    if (!timed.queue.empty()) {
+      ++counters_.flushes_deadline;
+      FlushQueue(timed);
+    }
+  });
+}
+
+void IngestServer::SendFrame(Connection& conn, FrameType type,
+                             Span<const uint8_t> payload) {
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  PumpWrites(conn);
+}
+
+void IngestServer::SendError(Connection& conn, ErrorCode code,
+                             const std::string& message) {
+  ErrorReply error;
+  error.code = code;
+  error.message = message;
+  const std::vector<uint8_t> payload = EncodeErrorReply(error);
+  SendFrame(conn, FrameType::kError, payload);
+}
+
+void IngestServer::PumpWrites(Connection& conn) {
+  const int fd = conn.fd;
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = write(fd, conn.out.data() + conn.out_pos,
+                            conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: wait for POLLOUT (reads stay on unless this
+      // connection is already condemned).
+      (void)loop_->SetInterest(fd, /*want_read=*/!conn.dropping,
+                               /*want_write=*/true);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(fd);  // EPIPE/ECONNRESET: the peer is gone
+    return;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  if (conn.dropping) {
+    CloseConnection(fd);
+    return;
+  }
+  (void)loop_->SetInterest(fd, /*want_read=*/true, /*want_write=*/false);
+}
+
+void IngestServer::DropConnection(Connection& conn, ErrorCode code,
+                                  const std::string& message) {
+  if (conn.dropping) return;
+  ++counters_.connections_dropped;
+  // Accepted-and-ACKed samples are committed state: flush before teardown,
+  // exactly like an orderly EOF.
+  FlushQueue(conn);
+  conn.dropping = true;  // set first: PumpWrites closes once `out` drains
+  SendError(conn, code, message);
+}
+
+void IngestServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.flush_timer_id != 0) loop_->Cancel(conn.flush_timer_id);
+  FlushQueue(conn);
+  loop_->Unwatch(fd);
+  close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace fasthist

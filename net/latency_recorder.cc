@@ -1,0 +1,46 @@
+#include "net/latency_recorder.h"
+
+#include <utility>
+
+#include "service/aggregator.h"
+
+namespace fasthist {
+
+LatencyRecorder::LatencyRecorder(StreamingHistogramBuilder builder)
+    : builder_(std::move(builder)) {}
+
+StatusOr<LatencyRecorder> LatencyRecorder::Create(int64_t k,
+                                                  size_t buffer_capacity) {
+  auto builder =
+      StreamingHistogramBuilder::Create(kDomainTicks, k, buffer_capacity);
+  if (!builder.ok()) return builder.status();
+  return LatencyRecorder(std::move(builder).value());
+}
+
+void LatencyRecorder::Record(uint64_t nanos) {
+  int64_t ticks = static_cast<int64_t>(nanos / 100);
+  if (ticks >= kDomainTicks) ticks = kDomainTicks - 1;
+  // In-domain by construction, so Add cannot fail; the builder's Status is
+  // about caller-supplied samples, which this clamp just ruled out.
+  (void)builder_.Add(ticks);
+}
+
+StatusOr<LatencyStats> LatencyRecorder::Stats() const {
+  LatencyStats stats;
+  stats.count = builder_.num_samples();
+  if (stats.count == 0) return stats;
+  auto summary = builder_.Peek();
+  if (!summary.ok()) return summary.status();
+  auto aggregator = Aggregator::Create(std::move(summary).value());
+  if (!aggregator.ok()) return aggregator.status();
+  const double ticks_per_us = static_cast<double>(kTicksPerMicro);
+  stats.p50_us =
+      static_cast<double>(aggregator->Quantile(0.50)) / ticks_per_us;
+  stats.p99_us =
+      static_cast<double>(aggregator->Quantile(0.99)) / ticks_per_us;
+  stats.p995_us =
+      static_cast<double>(aggregator->Quantile(0.995)) / ticks_per_us;
+  return stats;
+}
+
+}  // namespace fasthist

@@ -1,0 +1,57 @@
+#ifndef FASTHIST_NET_LATENCY_RECORDER_H_
+#define FASTHIST_NET_LATENCY_RECORDER_H_
+
+#include <cstdint>
+
+#include "core/streaming.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace fasthist {
+
+// Self-measurement as dogfood: the net/ layer times every request path into
+// one of these, and each one is nothing but a StreamingHistogramBuilder
+// over a latency domain plus an Aggregator::Quantile readout — the exact
+// pipeline the service sells to its users, turned on itself (the PHAST
+// harness measures per-op P50/P99/P99.5 the same way, with a hand-rolled
+// histogram; ours is the paper's mergeable summary, so recorder state could
+// even be merged across servers through the merge tree).
+//
+// Resolution: samples are recorded in 100 ns ticks over a domain of 2^25
+// ticks (~3.36 s); anything slower clamps to the top tick.  Readouts are
+// microseconds.  Memory is the builder's O(buffer + k log flushes), a few
+// KB — cheap enough for one recorder per op class per server.
+class LatencyRecorder {
+ public:
+  // `k` is the summary's pieces knob (P50/P99/P99.5 need decent tail
+  // resolution, so the default is roomier than ingest summaries use);
+  // `buffer_capacity` trades per-Record cost against condense frequency.
+  static StatusOr<LatencyRecorder> Create(int64_t k = 64,
+                                          size_t buffer_capacity = 256);
+
+  // Records one operation's duration.  Never fails: out-of-range values
+  // clamp into the domain (a 4-second outlier still lands in the top
+  // bucket and drags the tail quantiles up, it just loses resolution).
+  void Record(uint64_t nanos);
+
+  int64_t count() const { return builder_.num_samples(); }
+
+  // The P50/P99/P99.5 of everything recorded so far, served by
+  // Aggregator::Quantile over the builder's Peek fold.  Const and
+  // flush-free, like every export in this codebase.  With no samples
+  // recorded, returns an all-zero LatencyStats (count == 0) rather than an
+  // error — a stats probe against an idle server is not a fault.
+  StatusOr<LatencyStats> Stats() const;
+
+  static constexpr int64_t kTicksPerMicro = 10;  // 100 ns ticks
+  static constexpr int64_t kDomainTicks = int64_t{1} << 25;
+
+ private:
+  explicit LatencyRecorder(StreamingHistogramBuilder builder);
+
+  StreamingHistogramBuilder builder_;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_NET_LATENCY_RECORDER_H_

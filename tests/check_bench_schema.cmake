@@ -6,6 +6,10 @@
 # Inputs (via -D):
 #   BENCH_JSON       path to the benchmark JSON (top-level "records" array)
 #   REQUIRED_FIELDS  comma-separated member names every record must define
+#   POSITIVE_FIELDS  optional comma-separated subset that must also be
+#                    strictly positive numbers in every record (latency
+#                    quantiles, for example: a committed 0 means the server
+#                    never actually measured itself)
 #
 # Uses string(JSON), available since CMake 3.19.
 cmake_minimum_required(VERSION 3.19)
@@ -30,6 +34,11 @@ if(num_records EQUAL 0)
 endif()
 
 string(REPLACE "," ";" fields "${REQUIRED_FIELDS}")
+if(DEFINED POSITIVE_FIELDS)
+  string(REPLACE "," ";" positive_fields "${POSITIVE_FIELDS}")
+else()
+  set(positive_fields "")
+endif()
 math(EXPR last_record "${num_records} - 1")
 foreach(i RANGE ${last_record})
   string(JSON record_name ERROR_VARIABLE json_error
@@ -44,6 +53,15 @@ foreach(i RANGE ${last_record})
       message(FATAL_ERROR
               "check_bench_schema: record '${record_name}' in ${BENCH_JSON} "
               "is missing required field '${field}'")
+    endif()
+  endforeach()
+  foreach(field IN LISTS positive_fields)
+    string(JSON value ERROR_VARIABLE json_error
+           GET "${contents}" records ${i} ${field})
+    if(json_error OR NOT value GREATER 0)
+      message(FATAL_ERROR
+              "check_bench_schema: record '${record_name}' in ${BENCH_JSON} "
+              "must have '${field}' > 0, got '${value}'")
     endif()
   endforeach()
 endforeach()

@@ -1,11 +1,14 @@
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "tests/fasthist_test.h"
+#include "util/clock.h"
 #include "util/padded.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -29,6 +32,29 @@ TEST(TimerIsMonotonic) {
   CHECK(now >= last);
   timer.Restart();
   CHECK(timer.ElapsedMillis() <= now);
+}
+
+TEST(ClockMonotonicNanosAdvances) {
+  // Monotone under rapid-fire reads (the request-path usage: two reads
+  // bracketing an operation must never subtract negative)...
+  const uint64_t start = MonotonicNanos();
+  uint64_t last = start;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t now = MonotonicNanos();
+    CHECK(now >= last);
+    last = now;
+  }
+  // ...and it actually advances with wall time, at nanosecond granularity.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const uint64_t after = MonotonicNanos();
+  CHECK(after > start);
+  CHECK(after - start >= 1000000);  // the 2 ms sleep shows up as >= 1 ms
+
+  // The readout struct net/ fills from these timestamps defaults to the
+  // all-zero "no samples yet" state.
+  LatencyStats stats;
+  CHECK(stats.count == 0);
+  CHECK_NEAR(stats.p50_us + stats.p99_us + stats.p995_us, 0.0, 0.0);
 }
 
 TEST(RunningStatsMatchesClosedForm) {

@@ -1,0 +1,38 @@
+#ifndef FASTHIST_UTIL_CLOCK_H_
+#define FASTHIST_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fasthist {
+
+// Monotonic nanoseconds since an arbitrary epoch (steady_clock, the same
+// CLOCK_MONOTONIC contract as WallTimer in util/timer.h).  This is the
+// timestamp every request-path measurement in net/ is taken with: two reads
+// subtract to an interval that is immune to system clock adjustments, and a
+// uint64_t of nanoseconds holds ~584 years, so differences never wrap in
+// practice.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The tail-latency readout every self-measuring component reports (PHAST's
+// harness convention: P50/P99/P99.5 per op class).  The values are extracted
+// from a latency histogram built with this library's own
+// StreamingHistogramBuilder and queried through Aggregator::Quantile — the
+// extraction lives in net/latency_recorder.h, above the service layer, so
+// this header stays at the bottom of the dependency order; here is only the
+// plain-data result those quantile queries fill in.
+struct LatencyStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p995_us = 0.0;
+  int64_t count = 0;
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_UTIL_CLOCK_H_
