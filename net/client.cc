@@ -91,7 +91,10 @@ Status IngestClient::SendFrame(FrameType type, Span<const uint8_t> payload) {
   const std::vector<uint8_t> frame = EncodeFrame(type, payload);
   size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+    // MSG_NOSIGNAL: a dead server must surface as a Status, not a
+    // process-killing SIGPIPE.
+    const ssize_t n =
+        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       Close();

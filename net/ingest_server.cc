@@ -27,6 +27,11 @@ Status SetNonBlockingFd(int fd) {
   return Status::Ok();
 }
 
+// Backoff before re-arming the listener after a persistent accept failure
+// (EMFILE and kin): long enough that fd exhaustion cannot spin a core,
+// short enough that recovery is prompt once fds free up.
+constexpr uint64_t kAcceptRearmDelayNanos = 100ull * 1000 * 1000;
+
 }  // namespace
 
 // Per-connection state, owned by the loop thread.  The queue is the
@@ -69,6 +74,11 @@ StatusOr<std::unique_ptr<IngestServer>> IngestServer::Create(
   }
   if (options.max_connections < 1) {
     return Status::Invalid("IngestServer: max_connections must be positive");
+  }
+  if (options.max_reply_backlog <
+      options.max_frame_payload + kFrameHeaderBytes) {
+    return Status::Invalid(
+        "IngestServer: max_reply_backlog must fit one max-size frame");
   }
   std::unique_ptr<IngestServer> server(new IngestServer(options));
 
@@ -154,6 +164,10 @@ Status IngestServer::Shutdown() {
 }
 
 void IngestServer::GracefulStop() {
+  if (accept_rearm_timer_id_ != 0) {
+    loop_->Cancel(accept_rearm_timer_id_);
+    accept_rearm_timer_id_ = 0;
+  }
   if (listen_fd_ >= 0) {
     loop_->Unwatch(listen_fd_);
     close(listen_fd_);
@@ -192,7 +206,16 @@ void IngestServer::OnListenerReadable() {
   // draining here saves wakeups under an accept burst).
   for (;;) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK or a transient error
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // backlog drained
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Persistent failure (EMFILE/ENFILE fd exhaustion and kin): the
+      // pending connection stays queued in the kernel backlog, so a
+      // level-triggered poll would refire immediately and the loop would
+      // spin accept() hot on one core.  Back off instead.
+      PauseAccepting();
+      return;
+    }
     if (connections_.size() >=
         static_cast<size_t>(options_.max_connections)) {
       close(fd);
@@ -215,6 +238,20 @@ void IngestServer::OnListenerReadable() {
   }
 }
 
+void IngestServer::PauseAccepting() {
+  if (accept_rearm_timer_id_ != 0) return;
+  loop_->Unwatch(listen_fd_);
+  accept_rearm_timer_id_ =
+      loop_->ScheduleAt(MonotonicNanos() + kAcceptRearmDelayNanos, [this] {
+        accept_rearm_timer_id_ = 0;
+        if (listen_fd_ < 0) return;  // GracefulStop closed the listener
+        (void)loop_->Watch(listen_fd_, /*want_read=*/true,
+                           /*want_write=*/false, [this](EventLoop::IoEvent) {
+                             OnListenerReadable();
+                           });
+      });
+}
+
 void IngestServer::OnConnectionIo(int fd, EventLoop::IoEvent event) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
@@ -224,8 +261,7 @@ void IngestServer::OnConnectionIo(int fd, EventLoop::IoEvent event) {
     return;
   }
   if (event.writable) {
-    PumpWrites(conn);
-    if (connections_.find(fd) == connections_.end()) return;  // drained+closed
+    if (!PumpWrites(conn)) return;  // drained+closed, or a write error
   }
   if (event.readable) OnConnectionReadable(conn);
 }
@@ -317,7 +353,7 @@ void IngestServer::HandleIngest(Connection& conn, const Frame& frame,
     info.queue_depth = depth;
     info.hard_watermark = options_.hard_watermark;
     const std::vector<uint8_t> payload = EncodeRejectedInfo(info);
-    SendFrame(conn, FrameType::kRejected, payload);
+    (void)SendFrame(conn, FrameType::kRejected, payload);
     ingest_latency_->Record(MonotonicNanos() - start_ns);
     return;
   }
@@ -357,7 +393,13 @@ void IngestServer::HandleIngest(Connection& conn, const Frame& frame,
   ack.shed = offered - kept;
   ack.keep_shift = keep_shift;
   const std::vector<uint8_t> payload = EncodeIngestAck(ack);
-  SendFrame(conn, FrameType::kIngestAck, payload);
+  if (!SendFrame(conn, FrameType::kIngestAck, payload)) {
+    // The peer reset mid-reply (or stopped reading past the backlog cap)
+    // and the connection is gone; its accepted samples were flushed by
+    // CloseConnection.  `conn` is dangling from here on.
+    ingest_latency_->Record(MonotonicNanos() - start_ns);
+    return;
+  }
 
   if (conn.queue.size() >= options_.flush_batch) {
     ++counters_.flushes_size;
@@ -392,7 +434,7 @@ void IngestServer::HandleSnapshotPull(Connection& conn, const Frame& frame,
     return;
   }
   const std::vector<uint8_t> envelope = EncodeShardSnapshot(*snapshot);
-  SendFrame(conn, FrameType::kSnapshotPush, envelope);
+  (void)SendFrame(conn, FrameType::kSnapshotPush, envelope);
   query_latency_->Record(MonotonicNanos() - start_ns);
 }
 
@@ -429,14 +471,14 @@ void IngestServer::HandleQuantileQuery(Connection& conn, const Frame& frame,
     reply.num_samples = *count;
   }
   const std::vector<uint8_t> payload = EncodeQuantileReply(reply);
-  SendFrame(conn, FrameType::kQuantileReply, payload);
+  (void)SendFrame(conn, FrameType::kQuantileReply, payload);
   query_latency_->Record(MonotonicNanos() - start_ns);
 }
 
 void IngestServer::HandleStats(Connection& conn, uint64_t start_ns) {
   (void)start_ns;  // stats probes are not recorded into either op class
   const std::vector<uint8_t> payload = EncodeServerStats(BuildStats());
-  SendFrame(conn, FrameType::kStatsReply, payload);
+  (void)SendFrame(conn, FrameType::kStatsReply, payload);
 }
 
 void IngestServer::FlushQueue(Connection& conn) {
@@ -472,27 +514,39 @@ void IngestServer::ScheduleDeadlineFlush(Connection& conn) {
   });
 }
 
-void IngestServer::SendFrame(Connection& conn, FrameType type,
+bool IngestServer::SendFrame(Connection& conn, FrameType type,
                              Span<const uint8_t> payload) {
   const std::vector<uint8_t> frame = EncodeFrame(type, payload);
   conn.out.insert(conn.out.end(), frame.begin(), frame.end());
-  PumpWrites(conn);
+  const int fd = conn.fd;
+  if (!PumpWrites(conn)) return false;
+  // Write-side bound, the mirror of the ingest watermarks: a peer that
+  // sends requests but never reads replies cannot grow `out` without
+  // limit.  Its accepted samples still flush — CloseConnection drains.
+  if (conn.out.size() - conn.out_pos > options_.max_reply_backlog) {
+    ++counters_.connections_dropped;
+    CloseConnection(fd);
+    return false;
+  }
+  return true;
 }
 
-void IngestServer::SendError(Connection& conn, ErrorCode code,
+bool IngestServer::SendError(Connection& conn, ErrorCode code,
                              const std::string& message) {
   ErrorReply error;
   error.code = code;
   error.message = message;
   const std::vector<uint8_t> payload = EncodeErrorReply(error);
-  SendFrame(conn, FrameType::kError, payload);
+  return SendFrame(conn, FrameType::kError, payload);
 }
 
-void IngestServer::PumpWrites(Connection& conn) {
+bool IngestServer::PumpWrites(Connection& conn) {
   const int fd = conn.fd;
   while (conn.out_pos < conn.out.size()) {
-    const ssize_t n = write(fd, conn.out.data() + conn.out_pos,
-                            conn.out.size() - conn.out_pos);
+    // MSG_NOSIGNAL: a reset peer must surface as EPIPE on this connection,
+    // not as a process-killing SIGPIPE.
+    const ssize_t n = send(fd, conn.out.data() + conn.out_pos,
+                           conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_pos += static_cast<size_t>(n);
       continue;
@@ -502,19 +556,20 @@ void IngestServer::PumpWrites(Connection& conn) {
       // connection is already condemned).
       (void)loop_->SetInterest(fd, /*want_read=*/!conn.dropping,
                                /*want_write=*/true);
-      return;
+      return true;
     }
     if (n < 0 && errno == EINTR) continue;
     CloseConnection(fd);  // EPIPE/ECONNRESET: the peer is gone
-    return;
+    return false;
   }
   conn.out.clear();
   conn.out_pos = 0;
   if (conn.dropping) {
     CloseConnection(fd);
-    return;
+    return false;
   }
   (void)loop_->SetInterest(fd, /*want_read=*/true, /*want_write=*/false);
+  return true;
 }
 
 void IngestServer::DropConnection(Connection& conn, ErrorCode code,
@@ -525,7 +580,7 @@ void IngestServer::DropConnection(Connection& conn, ErrorCode code,
   // exactly like an orderly EOF.
   FlushQueue(conn);
   conn.dropping = true;  // set first: PumpWrites closes once `out` drains
-  SendError(conn, code, message);
+  (void)SendError(conn, code, message);
 }
 
 void IngestServer::CloseConnection(int fd) {

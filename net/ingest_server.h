@@ -50,6 +50,16 @@ struct IngestServerOptions {
   // accept limit.
   uint64_t max_frame_payload = kDefaultMaxFramePayload;
   int max_connections = 256;
+
+  // Write-side bound, the mirror of the ingest watermarks: a peer that
+  // sends requests but never reads replies (a kSnapshotPull request is 24
+  // bytes; its reply can be a ~1 MB envelope) would otherwise grow the
+  // connection's reply buffer without limit.  Once the unwritten backlog
+  // exceeds this many bytes the connection is dropped (its accepted
+  // samples still flush — they were ACKed).  Must fit at least one
+  // max-size frame, or every oversized reply would tear its connection
+  // down.
+  size_t max_reply_backlog = size_t{4} << 20;
 };
 
 // The socket front-end (ROADMAP item 2): a TCP server speaking the framed
@@ -134,11 +144,18 @@ class IngestServer {
   // Flushes `conn`'s queue into the store (cancelling any deadline timer).
   void FlushQueue(Connection& conn);
   void ScheduleDeadlineFlush(Connection& conn);
-  // Queues `frame_bytes` on the connection and pumps the socket.
-  void SendFrame(Connection& conn, FrameType type,
+  // Queues the encoded frame on the connection and pumps the socket.  The
+  // send path can tear the connection down — a write error (peer reset) or
+  // a reply backlog past max_reply_backlog both CloseConnection — so these
+  // return whether `conn` is still alive; on false the reference is
+  // dangling and the caller must not touch it again.
+  bool SendFrame(Connection& conn, FrameType type,
                  Span<const uint8_t> payload);
-  void SendError(Connection& conn, ErrorCode code, const std::string& message);
-  void PumpWrites(Connection& conn);
+  bool SendError(Connection& conn, ErrorCode code, const std::string& message);
+  bool PumpWrites(Connection& conn);
+  // Accept hit a persistent error (fd exhaustion): unwatch the listener so
+  // level-triggered poll cannot hot-spin on it, and re-arm via a timer.
+  void PauseAccepting();
   // Protocol-violation teardown: best-effort error reply, then close once
   // the write buffer drains (queued samples are flushed first — they were
   // accepted and ACKed, so they are part of the server's committed state).
@@ -150,6 +167,7 @@ class IngestServer {
   IngestServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  uint64_t accept_rearm_timer_id_ = 0;  // 0 = accepting normally
 
   std::unique_ptr<EventLoop> loop_;
   std::thread loop_thread_;

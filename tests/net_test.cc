@@ -7,6 +7,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -687,6 +688,126 @@ TEST(NetFrameFuzzServerSurvivesHostileBytes) {
   CHECK(stats->connections_dropped >= 7);  // every typed-error case above
   CHECK(static_cast<size_t>(stats->connections_accepted) >= hostile_cases);
 
+  CHECK(server->Shutdown().ok());
+}
+
+// A peer that vanishes right after sending traffic makes the server's ack
+// write fail (EPIPE/ECONNRESET) inside SendFrame, destroying the
+// connection while HandleIngest still holds a reference — the
+// use-after-free this guards against lived exactly there.  Pipelining many
+// batches and then closing makes the failure deterministic: the server
+// drains them all in ONE readable event (so poll never gets a chance to
+// report the error state first), its first ack to the closed socket
+// provokes an RST, and a later ack write in the same drain loop hits the
+// error path mid-HandleIngest.  ASan turns any regression into a hard
+// failure.
+TEST(NetServerSurvivesPeerResetDuringIngestReply) {
+  IngestServerOptions options;
+  auto server = StartServer(options);
+  const int64_t domain = options.archetype.domain_size;
+  Rng rng(31337);
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint8_t> bytes;
+    for (int b = 0; b < 16; ++b) {
+      const std::vector<KeyedSample> batch = MakeBatch(&rng, 5, 64, domain);
+      const std::vector<uint8_t> frame =
+          EncodeFrame(FrameType::kIngest, EncodeIngestPayload(batch));
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+    }
+    const int fd = RawConnect(server->port());
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      CHECK(n > 0);
+      sent += static_cast<size_t>(n);
+    }
+    // Close with the acks unread: data arriving for the orphaned socket
+    // (the server's first ack) draws an RST, so the server's later ack
+    // writes in the same drain loop fail.
+    close(fd);
+  }
+
+  // The server must still serve a fresh, honest client.
+  IngestClient client = ConnectTo(*server);
+  const std::vector<KeyedSample> batch = MakeBatch(&rng, 11, 16, domain);
+  auto result = client.Ingest(batch);
+  CHECK_OK(result);
+  CHECK(!result->rejected && result->ack.accepted == batch.size());
+  auto reply = client.Quantile(11, 0.5);
+  CHECK_OK(reply);
+  CHECK(server->Shutdown().ok());
+}
+
+// The write-side bound: a client that sends requests but never reads the
+// replies must be dropped once the server's unwritten reply backlog passes
+// max_reply_backlog — not buffered indefinitely.
+TEST(NetServerBoundsReplyBacklog) {
+  IngestServerOptions options;
+  options.max_frame_payload = 1024;
+  options.max_reply_backlog = 2048;
+  auto server = StartServer(options);
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  CHECK(fd >= 0);
+  // A tiny receive buffer (set before connect so the window is negotiated
+  // small) keeps the kernel from absorbing replies the test never reads.
+  const int rcvbuf = 4096;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  CHECK(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+  CHECK(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) == 0);
+
+  // Pump stats requests (each reply ~168 bytes) and never read.  Replies
+  // fill the kernel buffers, then the server's `out`, then trip the cap:
+  // the server closes and the pending RST fails any still-blocked send.
+  // 50k requests is ~8 MB of replies — past any plausible kernel
+  // buffering, so a server that (wrongly) buffers forever cannot pass.
+  const std::vector<uint8_t> stats_request =
+      EncodeFrame(FrameType::kStats, Span<const uint8_t>());
+  bool server_dropped_us = false;
+  for (int i = 0; i < 50000 && !server_dropped_us; ++i) {
+    size_t sent = 0;
+    while (sent < stats_request.size()) {
+      const ssize_t n = send(fd, stats_request.data() + sent,
+                             stats_request.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        server_dropped_us = true;  // EPIPE/ECONNRESET: the cap fired
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  // The send side can outrun a (sanitizer-slowed) server — the whole
+  // request stream fits in the local kernel send buffer — so a clean send
+  // loop proves nothing yet.  The verdict is the RST: wait for it.
+  if (!server_dropped_us) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = 0;  // POLLERR/POLLHUP are reported regardless
+    for (int waited_ms = 0; waited_ms < 30000; waited_ms += 100) {
+      if (poll(&pfd, 1, 100) > 0 &&
+          (pfd.revents & (POLLERR | POLLHUP)) != 0) {
+        server_dropped_us = true;
+        break;
+      }
+    }
+  }
+  CHECK(server_dropped_us);
+  close(fd);
+
+  // The drop was surgical: the server still serves, and counted it.
+  IngestClient client = ConnectTo(*server);
+  auto stats = client.Stats();
+  CHECK_OK(stats);
+  CHECK(stats->connections_dropped >= 1);
   CHECK(server->Shutdown().ok());
 }
 
