@@ -11,20 +11,28 @@
 //                   to end (create + append + reconcile export).  Reps are
 //                   interleaved and rotated across the writer-count axis so
 //                   no cell owns a quiet (or noisy) stretch of the machine.
-//   --net-grid      connections x batch x offered load, over real loopback
-//                   sockets: an in-process IngestServer (net/ingest_server.h)
-//                   driven closed-loop by N blocking clients on their own
-//                   threads, written to its own trajectory file
-//                   (BENCH_net.json, --net-out=PATH).  Each row reports the
-//                   saturation (or paced) throughput, the overload
-//                   accounting (accepted / shed / rejected samples, max
-//                   queue depth), and the server's own self-measured ingest
-//                   P50/P99/P99.5 pulled over the wire via a kStats frame.
-//                   One cell runs deliberately past saturation against tiny
-//                   watermarks to demonstrate the two-tier policy; every
-//                   cell replays its accepted (ACK-reconstructed) samples
-//                   into an offline store and exits 2 unless the drained
-//                   server summaries are bit-identical to the replay.
+//   --net-grid      loops x connections x batch x offered load, over real
+//                   loopback sockets: an in-process ShardedIngestServer
+//                   (net/sharded_ingest_server.h) with `loops` worker event
+//                   loops (= key-hash partitions) driven closed-loop by N
+//                   blocking clients on their own threads, written to its
+//                   own trajectory file (BENCH_net.json, --net-out=PATH).
+//                   Each row reports the saturation (or paced) throughput,
+//                   speedup_vs_1loop against the matched single-loop row,
+//                   the overload accounting (accepted / shed / rejected
+//                   samples, per-partition max queue depth and shed), and
+//                   the server's own self-measured ingest P50/P99/P99.5
+//                   merged across all loops' recorders and pulled over the
+//                   wire via a kStats frame.  Overload cells run
+//                   deliberately past saturation against tiny watermarks to
+//                   demonstrate the per-partition two-tier policy; every
+//                   cell replays its accepted (per-partition
+//                   ACK-reconstructed) samples into an offline store and
+//                   exits 2 unless the drained server summaries are
+//                   bit-identical to the replay.  --require-scaling
+//                   additionally exits 2 unless some matched (connections,
+//                   batch) pair shows a >= 2.5x l4/l1 saturation ratio —
+//                   the multi-core CI gate (meaningless on a 1-core box).
 //   --store-grid    keys x samples/key x batch: batched keyed ingest into a
 //                   SummaryStore (store/summary_store.h), written to its own
 //                   trajectory file (BENCH_store.json, --store-out=PATH).
@@ -45,8 +53,8 @@
 // min-of-R rep count (--reps=N, floor 3).
 //
 //   bench_service [--grid] [--striped-grid] [--store-grid] [--net-grid]
-//                 [--smoke] [--reps=N] [--out=PATH] [--store-out=PATH]
-//                 [--net-out=PATH]
+//                 [--require-scaling] [--smoke] [--reps=N] [--out=PATH]
+//                 [--store-out=PATH] [--net-out=PATH]
 //
 // --smoke shrinks the grids for CI; the binary exits non-zero if any
 // service call fails or an aggregate loses mass, so the smoke run doubles
@@ -58,6 +66,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -70,6 +79,7 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/ingest_server.h"
+#include "net/sharded_ingest_server.h"
 #endif
 #include "dist/alias_sampler.h"
 #include "dist/empirical.h"
@@ -705,12 +715,17 @@ int RunStoreGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
 
 #if defined(FASTHIST_HAVE_NET)
 
-// One cell of the socket-front-end sweep.  offered_load is samples/second
-// across all connections (0 = closed-loop as fast as the server ACKs, the
-// saturation measurement); overload cells shrink the server's watermarks
-// and disable size/deadline flushing so the bounded per-connection queues
-// actually fill, tripping degrade-to-sampling and then kRejected.
+// One cell of the socket-front-end sweep.  loops is the number of worker
+// event loops (= key-hash partitions) in the ShardedIngestServer; 1
+// degenerates to the single-loop topology, and matched (connections, batch)
+// pairs at loops 1 and 4 give the speedup_vs_1loop column a like-for-like
+// denominator.  offered_load is samples/second across all connections (0 =
+// closed-loop as fast as the server ACKs, the saturation measurement);
+// overload cells shrink the server's watermarks and disable size/deadline
+// flushing so the bounded per-partition depths actually fill, tripping
+// degrade-to-sampling and then per-partition rejection.
 struct NetCell {
+  int loops = 1;
   int connections = 1;
   int64_t batch = 0;
   int64_t batches_per_client = 0;
@@ -718,33 +733,47 @@ struct NetCell {
   bool overload = false;
 };
 
-// Disjoint keys per (cell, connection): per-key store state depends only on
-// that key's subsequence, so the offline replay below is exact regardless
-// of how the connections' flushes interleave in the live server.
-uint64_t NetKeyOf(size_t cell_index, int client) {
-  return 0x9000 + cell_index * 64 + static_cast<uint64_t>(client);
+// Each connection owns kNetKeysPerClient keys and sprays every batch across
+// all of them round-robin, so with loops > 1 every single batch is
+// stable-partitioned into several per-partition slices — the cross-loop
+// ring hand-off is on the hot path of every cell, not just of lucky key
+// hashes.  Keys stay disjoint across (cell, connection): per-key store
+// state depends only on that key's subsequence, so the offline replay below
+// is exact regardless of how the loops' flushes interleave live.
+constexpr int kNetKeysPerClient = 16;
+
+uint64_t NetKeyOf(size_t cell_index, int client, int slot) {
+  return 0x9000 +
+         (cell_index * 64 + static_cast<uint64_t>(client)) *
+             kNetKeysPerClient +
+         static_cast<uint64_t>(slot);
 }
 
-// Runs one cell once: server up, N client threads closed-loop (or paced),
-// stats probed over the wire, graceful shutdown, then the bit-identical
-// replay gate — the drained server store must match an offline store fed
-// exactly the accepted (ACK-reconstructed) samples.  Returns false on a
+// Runs one cell once: server up with cell.loops worker loops, N client
+// threads closed-loop (or paced), stats probed over the wire, graceful
+// shutdown, then the bit-identical replay gate — every drained partition
+// summary must match an offline store fed exactly the accepted
+// (per-partition ACK-reconstructed) samples.  Returns false on a
 // replay/accounting violation (the caller exits 2); infrastructure
 // failures die immediately.
 bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
                     double* out_ms, ServerStats* out_stats) {
-  IngestServerOptions options;
-  options.shard_id = 42;
+  ShardedIngestServerOptions options;
+  options.base.shard_id = 42;
+  options.num_loops = cell.loops;
   if (cell.overload) {
-    options.soft_watermark = smoke ? 128 : 512;
-    options.hard_watermark = smoke ? 512 : 2048;
-    options.flush_batch = size_t{1} << 20;
-    options.flush_deadline_us = uint64_t{60} * 1000 * 1000;
+    options.base.soft_watermark = smoke ? 128 : 512;
+    options.base.hard_watermark = smoke ? 512 : 2048;
+    options.base.flush_batch = size_t{1} << 20;
+    options.base.flush_deadline_us = uint64_t{60} * 1000 * 1000;
   }
-  auto server = IngestServer::Create(options);
-  if (!server.ok()) Die("IngestServer::Create", server.status());
-  if (Status s = (*server)->Start(); !s.ok()) Die("IngestServer::Start", s);
-  const int64_t domain = options.archetype.domain_size;
+  auto server = ShardedIngestServer::Create(options);
+  if (!server.ok()) Die("ShardedIngestServer::Create", server.status());
+  if (Status s = (*server)->Start(); !s.ok()) {
+    Die("ShardedIngestServer::Start", s);
+  }
+  const int64_t domain = options.base.archetype.domain_size;
+  const uint32_t num_partitions = static_cast<uint32_t>(cell.loops);
 
   std::vector<IngestClient> clients;
   clients.reserve(static_cast<size_t>(cell.connections));
@@ -768,14 +797,14 @@ bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
     threads.emplace_back([&, c, domain] {
       IngestClient& client = clients[static_cast<size_t>(c)];
       std::vector<KeyedSample>& kept = replay[static_cast<size_t>(c)];
-      const uint64_t key = NetKeyOf(cell_index, c);
       Rng rng(0xd00d + cell_index * 131 + static_cast<uint64_t>(c));
       std::vector<KeyedSample> batch(static_cast<size_t>(cell.batch));
       const auto start = std::chrono::steady_clock::now();
       for (int64_t b = 0; b < cell.batches_per_client; ++b) {
-        for (KeyedSample& sample : batch) {
-          sample.key = key;
-          sample.value = rng.UniformInt(domain);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          batch[i].key = NetKeyOf(cell_index, c,
+                                  static_cast<int>(i % kNetKeysPerClient));
+          batch[i].value = rng.UniformInt(domain);
         }
         auto result = client.Ingest(batch);
         if (!result.ok()) {
@@ -783,12 +812,12 @@ bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
           return;
         }
         if (!result->rejected) {
-          // Reconstruct the accepted subsequence from the recorded stride —
-          // the replay gate's input, and the client's weight correction.
-          const uint64_t stride = uint64_t{1} << result->ack.keep_shift;
-          for (size_t i = 0; i < batch.size(); i += stride) {
-            kept.push_back(batch[i]);
-          }
+          // Reconstruct the accepted subsequence from the ACK's recorded
+          // per-partition dispositions — the replay gate's input, and the
+          // client's weight correction.
+          std::vector<KeyedSample> kept_now =
+              ReconstructAccepted(batch, result->ack, num_partitions);
+          kept.insert(kept.end(), kept_now.begin(), kept_now.end());
         }
         if (per_conn_rate > 0.0) {
           const double target_s =
@@ -828,44 +857,78 @@ bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
                  static_cast<unsigned long long>(replayed));
     return false;
   }
+  const uint64_t shed_total = stats->samples_shed;
+  const uint64_t rejected_total =
+      stats->samples_offered - stats->samples_accepted - stats->samples_shed;
   if (cell.overload &&
-      (stats->samples_shed == 0 || stats->batches_rejected == 0)) {
+      (shed_total == 0 ||
+       (stats->batches_rejected == 0 && rejected_total == 0))) {
     std::fprintf(stderr,
                  "bench_service: overload cell shed %llu / rejected %llu "
-                 "batches — the watermarks never tripped\n",
-                 static_cast<unsigned long long>(stats->samples_shed),
-                 static_cast<unsigned long long>(stats->batches_rejected));
+                 "samples — the per-partition watermarks never tripped\n",
+                 static_cast<unsigned long long>(shed_total),
+                 static_cast<unsigned long long>(rejected_total));
     return false;
   }
-  // Bounded-queue gate: depth never exceeds hard watermark + one batch.
-  if (stats->max_queue_depth >=
-      options.hard_watermark + static_cast<uint64_t>(cell.batch)) {
-    std::fprintf(stderr, "bench_service: queue depth %llu busts the bound\n",
-                 static_cast<unsigned long long>(stats->max_queue_depth));
+  // Per-partition bounded-queue gate: a partition's accepted-but-unflushed
+  // depth never exceeds the hard watermark plus one in-flight batch per
+  // producer loop (every producer can race one push past its last depth
+  // read; round-robin puts connections on min(connections, loops) loops).
+  const uint64_t producers =
+      static_cast<uint64_t>(std::min(cell.connections, cell.loops));
+  const uint64_t depth_bound =
+      options.base.hard_watermark +
+      producers * static_cast<uint64_t>(cell.batch);
+  if (stats->partitions.size() != static_cast<size_t>(cell.loops)) {
+    std::fprintf(stderr,
+                 "bench_service: kStats reported %zu partitions, want %d\n",
+                 stats->partitions.size(), cell.loops);
     return false;
+  }
+  for (const PartitionStats& part : stats->partitions) {
+    if (part.max_queue_depth >= depth_bound) {
+      std::fprintf(
+          stderr,
+          "bench_service: partition %u depth %llu busts the bound %llu\n",
+          part.partition,
+          static_cast<unsigned long long>(part.max_queue_depth),
+          static_cast<unsigned long long>(depth_bound));
+      return false;
+    }
   }
 
-  // The replay gate itself: bit-identical per-key summaries.
-  auto offline = SummaryStore::Create(options.archetype);
+  // The replay gate itself: bit-identical per-key summaries across every
+  // partition of the drained store.
+  auto offline = SummaryStore::Create(options.base.archetype);
   if (!offline.ok()) Die("SummaryStore::Create", offline.status());
   for (const auto& kept : replay) {
     if (kept.empty()) continue;
     if (Status s = offline->AddBatch(kept); !s.ok()) Die("AddBatch", s);
   }
   for (int c = 0; c < cell.connections; ++c) {
-    if (replay[static_cast<size_t>(c)].empty()) continue;
-    const uint64_t key = NetKeyOf(cell_index, c);
-    auto drained = (*server)->store().ExportKeyedSnapshot(key,
-                                                          options.shard_id);
-    if (!drained.ok()) Die("ExportKeyedSnapshot", drained.status());
-    auto expected = offline->ExportKeyedSnapshot(key, options.shard_id);
-    if (!expected.ok()) Die("ExportKeyedSnapshot", expected.status());
-    if (EncodeShardSnapshot(*drained) != EncodeShardSnapshot(*expected)) {
-      std::fprintf(stderr,
-                   "bench_service: key %llu drained summary != offline "
-                   "replay of accepted samples\n",
-                   static_cast<unsigned long long>(key));
-      return false;
+    for (int slot = 0; slot < kNetKeysPerClient; ++slot) {
+      const uint64_t key = NetKeyOf(cell_index, c, slot);
+      const bool offline_has = offline->Contains(key);
+      const bool drained_has = (*server)->store().Contains(key);
+      if (offline_has != drained_has) {
+        std::fprintf(stderr,
+                     "bench_service: key %llu present offline=%d drained=%d\n",
+                     static_cast<unsigned long long>(key),
+                     offline_has ? 1 : 0, drained_has ? 1 : 0);
+        return false;
+      }
+      if (!offline_has) continue;
+      auto drained = (*server)->ExportKeyedSnapshot(key);
+      if (!drained.ok()) Die("ExportKeyedSnapshot", drained.status());
+      auto expected = offline->ExportKeyedSnapshot(key, options.base.shard_id);
+      if (!expected.ok()) Die("ExportKeyedSnapshot", expected.status());
+      if (EncodeShardSnapshot(*drained) != EncodeShardSnapshot(*expected)) {
+        std::fprintf(stderr,
+                     "bench_service: key %llu drained partition summary != "
+                     "offline replay of ACK-reconstructed samples\n",
+                     static_cast<unsigned long long>(key));
+        return false;
+      }
     }
   }
 
@@ -874,25 +937,40 @@ bool RunNetCellOnce(const NetCell& cell, size_t cell_index, bool smoke,
   return true;
 }
 
-int RunNetGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
-  // The saturation sweep (offered_load 0 = closed-loop max), one paced cell
-  // below saturation, and one cell deliberately past it.
+int RunNetGrid(bool smoke, int reps, bool require_scaling,
+               bench_util::JsonBenchWriter& writer) {
+  // The saturation sweep over the loops axis — matched (connections, batch)
+  // pairs at 1 and 4 worker loops, so speedup_vs_1loop divides
+  // like-for-like — plus one paced cell below saturation and overload cells
+  // deliberately past it.  Cell order matters only in that every l1 row
+  // precedes its l4 twin (the twin lookup below is a backward reference).
   const std::vector<NetCell> cells =
-      smoke ? std::vector<NetCell>{{1, 128, 24, 0.0, false},
-                                   {2, 64, 60, 0.0, true}}
-            : std::vector<NetCell>{{1, 64, 800, 0.0, false},
-                                   {1, 512, 120, 0.0, false},
-                                   {2, 64, 400, 0.0, false},
-                                   {2, 512, 60, 0.0, false},
-                                   {4, 64, 200, 0.0, false},
-                                   {4, 512, 30, 0.0, false},
-                                   {2, 256, 120, 250000.0, false},
-                                   {2, 256, 200, 0.0, true}};
+      smoke ? std::vector<NetCell>{{1, 1, 64, 24, 0.0, false},
+                                   {1, 2, 64, 20, 0.0, false},
+                                   {4, 2, 64, 20, 0.0, false},
+                                   {4, 2, 64, 60, 0.0, true}}
+            : std::vector<NetCell>{{1, 1, 64, 800, 0.0, false},
+                                   {1, 1, 512, 120, 0.0, false},
+                                   {1, 2, 64, 400, 0.0, false},
+                                   {1, 2, 512, 60, 0.0, false},
+                                   {1, 4, 64, 200, 0.0, false},
+                                   {1, 4, 512, 30, 0.0, false},
+                                   {1, 2, 256, 120, 250000.0, false},
+                                   {1, 2, 256, 200, 0.0, true},
+                                   {4, 2, 64, 400, 0.0, false},
+                                   {4, 2, 512, 60, 0.0, false},
+                                   {4, 4, 64, 200, 0.0, false},
+                                   {4, 4, 512, 30, 0.0, false},
+                                   {4, 8, 512, 24, 0.0, false},
+                                   {4, 4, 256, 200, 0.0, true}};
 
-  TablePrinter table({"conns", "batch", "offered/s", "Msamp/s", "accepted",
-                      "shed", "rejected", "p50 us", "p99 us", "p99.5 us",
-                      "max q"});
+  TablePrinter table({"loops", "conns", "batch", "offered/s", "Msamp/s",
+                      "vs l1", "accepted", "shed", "rejected", "p50 us",
+                      "p99 us", "max part q"});
 
+  std::map<std::string, double> msamples_by_name;
+  double best_scaling = 0.0;
+  bool have_scaling_pair = false;
   for (size_t ci = 0; ci < cells.size(); ++ci) {
     const NetCell& cell = cells[ci];
     double best_ms = 0.0;
@@ -910,21 +988,52 @@ int RunNetGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
     const double rejected = static_cast<double>(
         stats.samples_offered - stats.samples_accepted - stats.samples_shed);
     const double msamples_per_s = accepted / (best_ms * 1e3);
-    // Clients + the server's event-loop thread all want a core.
-    const int threads_effective = EffectiveParallelism(cell.connections + 1);
+    // Clients + every worker event-loop thread all want a core; this is
+    // what keeps a 1-core container from masquerading as a scaling result.
+    const int threads_effective =
+        EffectiveParallelism(cell.connections + cell.loops);
 
-    std::string name = "net_c" + std::to_string(cell.connections) + "_b" +
-                       std::to_string(cell.batch);
+    uint64_t part_depth_max = 0;
+    uint64_t part_shed_max = 0;
+    for (const PartitionStats& part : stats.partitions) {
+      part_depth_max = std::max(part_depth_max, part.max_queue_depth);
+      part_shed_max = std::max(part_shed_max, part.samples_shed);
+    }
+
+    std::string suffix;
     if (cell.overload) {
-      name += "_overload";
+      suffix = "overload";
     } else if (cell.offered_load > 0.0) {
-      name += "_load" + std::to_string(static_cast<int64_t>(
+      suffix = "load" + std::to_string(static_cast<int64_t>(
                             cell.offered_load));
     } else {
-      name += "_sat";
+      suffix = "sat";
     }
+    const std::string stem = "net_c" + std::to_string(cell.connections) +
+                             "_b" + std::to_string(cell.batch);
+    const std::string name =
+        stem + "_l" + std::to_string(cell.loops) + "_" + suffix;
+    msamples_by_name[name] = msamples_per_s;
+
+    // speedup_vs_1loop: this row's throughput over its single-loop twin's
+    // (same connections, batch, and load shape).  1 for l1 rows by
+    // definition; 0 marks "no twin in this grid".
+    double speedup = cell.loops == 1 ? 1.0 : 0.0;
+    if (cell.loops > 1) {
+      auto twin = msamples_by_name.find(stem + "_l1_" + suffix);
+      if (twin != msamples_by_name.end() && twin->second > 0.0) {
+        speedup = msamples_per_s / twin->second;
+        if (suffix == "sat") {
+          have_scaling_pair = true;
+          best_scaling = std::max(best_scaling, speedup);
+        }
+      }
+    }
+
     writer.Add(name,
-               {{"connections", static_cast<double>(cell.connections)},
+               {{"loops", static_cast<double>(cell.loops)},
+                {"partitions", static_cast<double>(cell.loops)},
+                {"connections", static_cast<double>(cell.connections)},
                 {"batch", static_cast<double>(cell.batch)},
                 {"offered_load", cell.offered_load},
                 {"overload_cell", cell.overload ? 1.0 : 0.0},
@@ -939,29 +1048,49 @@ int RunNetGrid(bool smoke, int reps, bench_util::JsonBenchWriter& writer) {
                  static_cast<double>(stats.batches_rejected)},
                 {"max_queue_depth",
                  static_cast<double>(stats.max_queue_depth)},
+                {"partition_max_depth", static_cast<double>(part_depth_max)},
+                {"partition_shed_max", static_cast<double>(part_shed_max)},
                 {"flushes_size", static_cast<double>(stats.flushes_size)},
                 {"flushes_deadline",
                  static_cast<double>(stats.flushes_deadline)},
                 {"msamples_per_s", msamples_per_s},
+                {"speedup_vs_1loop", speedup},
                 {"p50_us", stats.ingest_p50_us},
                 {"p99_us", stats.ingest_p99_us},
                 {"p995_us", stats.ingest_p995_us}});
-    table.AddRow({TablePrinter::FormatInt(cell.connections),
+    table.AddRow({TablePrinter::FormatInt(cell.loops),
+                  TablePrinter::FormatInt(cell.connections),
                   TablePrinter::FormatInt(cell.batch),
                   TablePrinter::FormatInt(
                       static_cast<int64_t>(cell.offered_load)),
                   TablePrinter::FormatDouble(msamples_per_s, 2),
+                  TablePrinter::FormatDouble(speedup, 2),
                   TablePrinter::FormatDouble(accepted, 0),
                   TablePrinter::FormatDouble(shed, 0),
                   TablePrinter::FormatDouble(rejected, 0),
                   TablePrinter::FormatDouble(stats.ingest_p50_us, 1),
                   TablePrinter::FormatDouble(stats.ingest_p99_us, 1),
-                  TablePrinter::FormatDouble(stats.ingest_p995_us, 1),
                   TablePrinter::FormatInt(
-                      static_cast<int64_t>(stats.max_queue_depth))});
+                      static_cast<int64_t>(part_depth_max))});
   }
 
   table.Print(std::cout);
+
+  // The multi-core CI gate: on a runner with real cores, 4 loops must beat
+  // 1 loop by >= 2.5x on some matched saturation pair.  Never pass this on
+  // a 1-core box — threads_effective pins every row at 1 there and the
+  // ratio is honest noise.
+  if (require_scaling) {
+    if (!have_scaling_pair || best_scaling < 2.5) {
+      std::fprintf(stderr,
+                   "bench_service: --require-scaling: best l4/l1 saturation "
+                   "speedup %.2fx < 2.50x (pair found: %s)\n",
+                   best_scaling, have_scaling_pair ? "yes" : "no");
+      return 2;
+    }
+    std::printf("--require-scaling: best l4/l1 saturation speedup %.2fx\n",
+                best_scaling);
+  }
   return 0;
 }
 
@@ -979,6 +1108,7 @@ int main(int argc, char** argv) {
   const bool striped_flag = HasFlag(argc, argv, "--striped-grid");
   const bool store_flag = HasFlag(argc, argv, "--store-grid");
   const bool net_flag = HasFlag(argc, argv, "--net-grid");
+  const bool require_scaling = HasFlag(argc, argv, "--require-scaling");
   const char* out = FlagValue(argc, argv, "--out=");
   const std::string out_path = out != nullptr ? out : "BENCH_service.json";
   const char* store_out = FlagValue(argc, argv, "--store-out=");
@@ -1067,7 +1197,7 @@ int main(int argc, char** argv) {
                               std::thread::hardware_concurrency()));
     net_writer.AddContext("smoke", smoke ? 1.0 : 0.0);
     net_writer.AddContext("reps", static_cast<double>(reps));
-    rc = fasthist::RunNetGrid(smoke, reps, net_writer);
+    rc = fasthist::RunNetGrid(smoke, reps, require_scaling, net_writer);
     if (rc != 0) return rc;
     if (!net_writer.WriteFile(net_out_path)) {
       std::fprintf(stderr, "bench_service: cannot write %s\n",

@@ -7,6 +7,10 @@
 
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
 #include "util/clock.h"
 
 namespace fasthist {
@@ -20,12 +24,38 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
+EventLoopBackend ResolveBackend(EventLoopBackend requested) {
+  if (requested != EventLoopBackend::kDefault) return requested;
+#if defined(__linux__) && !defined(FASTHIST_FORCE_POLL)
+  return EventLoopBackend::kEpoll;
+#else
+  return EventLoopBackend::kPoll;
+#endif
+}
+
 }  // namespace
 
-EventLoop::EventLoop(int wake_read_fd, int wake_write_fd)
-    : wake_read_fd_(wake_read_fd), wake_write_fd_(wake_write_fd) {}
+EventLoop::EventLoop(int wake_read_fd, int wake_write_fd, int epoll_fd,
+                     EventLoopBackend backend)
+    : wake_read_fd_(wake_read_fd),
+      wake_write_fd_(wake_write_fd),
+      epoll_fd_(epoll_fd),
+      backend_(backend) {}
 
-StatusOr<std::unique_ptr<EventLoop>> EventLoop::Create() {
+bool EventLoop::EpollSupported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+StatusOr<std::unique_ptr<EventLoop>> EventLoop::Create(
+    EventLoopBackend backend) {
+  const EventLoopBackend resolved = ResolveBackend(backend);
+  if (resolved == EventLoopBackend::kEpoll && !EpollSupported()) {
+    return Status::Invalid("EventLoop: epoll is not available on this platform");
+  }
   int fds[2];
   if (pipe(fds) != 0) {
     return Status::Invalid("EventLoop: cannot create wake pipe");
@@ -37,12 +67,56 @@ StatusOr<std::unique_ptr<EventLoop>> EventLoop::Create() {
       return s;
     }
   }
-  return std::unique_ptr<EventLoop>(new EventLoop(fds[0], fds[1]));
+  int epoll_fd = -1;
+#if defined(__linux__)
+  if (resolved == EventLoopBackend::kEpoll) {
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) {
+      close(fds[0]);
+      close(fds[1]);
+      return Status::Invalid("EventLoop: epoll_create1 failed");
+    }
+    struct epoll_event event;
+    event.events = EPOLLIN;
+    event.data.fd = fds[0];
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fds[0], &event) != 0) {
+      close(epoll_fd);
+      close(fds[0]);
+      close(fds[1]);
+      return Status::Invalid("EventLoop: cannot register the wake pipe");
+    }
+  }
+#endif
+  return std::unique_ptr<EventLoop>(
+      new EventLoop(fds[0], fds[1], epoll_fd, resolved));
 }
 
 EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
   close(wake_read_fd_);
   close(wake_write_fd_);
+}
+
+Status EventLoop::EpollControl(int op, int fd, bool want_read,
+                               bool want_write) {
+#if defined(__linux__)
+  if (epoll_fd_ < 0) return Status::Ok();
+  struct epoll_event event;
+  event.events = 0;
+  if (want_read) event.events |= EPOLLIN;
+  if (want_write) event.events |= EPOLLOUT;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
+    return Status::Invalid("EventLoop: epoll_ctl failed");
+  }
+  return Status::Ok();
+#else
+  (void)op;
+  (void)fd;
+  (void)want_read;
+  (void)want_write;
+  return Status::Ok();
+#endif
 }
 
 Status EventLoop::Watch(int fd, bool want_read, bool want_write,
@@ -50,6 +124,14 @@ Status EventLoop::Watch(int fd, bool want_read, bool want_write,
   if (fd < 0 || !callback) {
     return Status::Invalid("EventLoop::Watch: bad fd or empty callback");
   }
+#if defined(__linux__)
+  const bool rearm = watched_.count(fd) != 0;
+  if (Status s = EpollControl(rearm ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd,
+                              want_read, want_write);
+      !s.ok()) {
+    return s;
+  }
+#endif
   watched_[fd] = Watched{want_read, want_write, std::move(callback)};
   return Status::Ok();
 }
@@ -59,12 +141,25 @@ Status EventLoop::SetInterest(int fd, bool want_read, bool want_write) {
   if (it == watched_.end()) {
     return Status::Invalid("EventLoop::SetInterest: fd is not watched");
   }
+#if defined(__linux__)
+  if (Status s = EpollControl(EPOLL_CTL_MOD, fd, want_read, want_write);
+      !s.ok()) {
+    return s;
+  }
+#endif
   it->second.want_read = want_read;
   it->second.want_write = want_write;
   return Status::Ok();
 }
 
-void EventLoop::Unwatch(int fd) { watched_.erase(fd); }
+void EventLoop::Unwatch(int fd) {
+#if defined(__linux__)
+  if (watched_.count(fd) != 0) {
+    (void)EpollControl(EPOLL_CTL_DEL, fd, false, false);
+  }
+#endif
+  watched_.erase(fd);
+}
 
 uint64_t EventLoop::ScheduleAt(uint64_t deadline_nanos,
                                std::function<void()> fn) {
@@ -127,7 +222,7 @@ int EventLoop::NextTimerTimeoutMillis() const {
   const uint64_t deadline = timers_.begin()->first.first;
   if (deadline <= now) return 0;
   const uint64_t millis = (deadline - now + 999999) / 1000000;
-  // Clamp: poll takes int millis, and re-polling once a minute costs
+  // Clamp: poll/epoll take int millis, and re-polling once a minute costs
   // nothing against a far-future timer.
   return millis > 60000 ? 60000 : static_cast<int>(millis);
 }
@@ -143,7 +238,17 @@ void EventLoop::RunDueTimers() {
   }
 }
 
-void EventLoop::Run() {
+void EventLoop::DispatchReady(int fd, IoEvent event) {
+  auto it = watched_.find(fd);
+  if (it == watched_.end()) return;  // unwatched by an earlier callback
+  // Copy the callback: it may Unwatch(fd) (destroying the stored
+  // std::function mid-call) and the copy keeps `this` alive through the
+  // invocation.
+  IoCallback callback = it->second.callback;
+  callback(event);
+}
+
+void EventLoop::RunPoll() {
   std::vector<struct pollfd> pollfds;
   std::vector<int> ready;
   while (!quit_) {
@@ -172,20 +277,57 @@ void EventLoop::Run() {
       }
       for (const int idx : ready) {
         const struct pollfd& pfd = pollfds[static_cast<size_t>(idx)];
-        auto it = watched_.find(pfd.fd);
-        if (it == watched_.end()) continue;  // unwatched by an earlier callback
         IoEvent event;
         event.readable = (pfd.revents & POLLIN) != 0;
         event.writable = (pfd.revents & POLLOUT) != 0;
         event.error = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
-        // Copy the callback: it may Unwatch(fd) (destroying the stored
-        // std::function mid-call) and the copy keeps `this` alive through
-        // the invocation.
-        IoCallback callback = it->second.callback;
-        callback(event);
+        DispatchReady(pfd.fd, event);
       }
     }
     RunPostedTasks();
+  }
+}
+
+void EventLoop::RunEpoll() {
+#if defined(__linux__)
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  std::vector<std::pair<int, IoEvent>> ready;
+  while (!quit_) {
+    const int timeout = NextTimerTimeoutMillis();
+    const int rc = epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (rc < 0 && errno != EINTR) break;  // unrecoverable epoll failure
+
+    RunDueTimers();
+    if (rc > 0) {
+      // Same snapshot-then-dispatch discipline as the poll backend:
+      // callbacks may Unwatch any fd in this batch, so membership is
+      // re-checked per dispatch instead of trusting the kernel's batch.
+      ready.clear();
+      for (int i = 0; i < rc; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_read_fd_) {
+          DrainWakePipe();
+          continue;
+        }
+        IoEvent event;
+        event.readable = (events[i].events & (EPOLLIN | EPOLLPRI)) != 0;
+        event.writable = (events[i].events & EPOLLOUT) != 0;
+        event.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        ready.push_back({fd, event});
+      }
+      for (const auto& [fd, event] : ready) DispatchReady(fd, event);
+    }
+    RunPostedTasks();
+  }
+#endif
+}
+
+void EventLoop::Run() {
+  if (backend_ == EventLoopBackend::kEpoll) {
+    RunEpoll();
+  } else {
+    RunPoll();
   }
   // A final drain so tasks posted just before Quit still run.
   RunPostedTasks();

@@ -12,20 +12,33 @@
 
 namespace fasthist {
 
-// A portable poll(2)-based event loop: nonblocking fds, level-triggered
-// readiness callbacks, monotonic one-shot timers, and a thread-safe Post
-// queue — no epoll/kqueue/io_uring, no external dependencies, so it builds
-// anywhere POSIX poll exists.  One loop is one thread: every callback runs
-// on the thread inside Run(), so loop-owned state (the ingest server's
+// Readiness backend.  kPoll is the portable poll(2) baseline that builds
+// anywhere POSIX poll exists; kEpoll is the Linux epoll(7) fast path (O(1)
+// dispatch instead of rebuilding an O(fds) pollfd array every iteration —
+// what makes a many-connection loop cheap).  kDefault resolves at configure
+// time: epoll on Linux unless FASTHIST_FORCE_POLL was set, poll everywhere
+// else.  Both backends compile on Linux so one process can run both — the
+// epoll-vs-poll equivalence test drives the same fixture through each.
+enum class EventLoopBackend {
+  kDefault,
+  kPoll,
+  kEpoll,
+};
+
+// A portable event loop: nonblocking fds, level-triggered readiness
+// callbacks, monotonic one-shot timers, and a thread-safe Post queue — no
+// external dependencies.  One loop is one thread: every callback runs on
+// the thread inside Run(), so loop-owned state (the ingest server's
 // connections, queues, store, and latency recorders) needs no locks at all.
 // The only cross-thread surfaces are Post() and Quit(), which funnel
 // through a mutex-guarded task queue plus a self-pipe wakeup.
 //
-// Readiness semantics are level-triggered like poll itself: a Watch(read)
+// Readiness semantics are level-triggered on both backends: a Watch(read)
 // callback keeps firing while the fd stays readable, so handlers must drain
 // (or Unwatch) before returning to avoid a hot loop.  Error/hangup
-// conditions (POLLERR/POLLHUP/POLLNVAL) are reported to the same callback
-// as `error = true`; the handler decides whether to tear the fd down.
+// conditions (POLLERR/POLLHUP equivalents) are reported to the same
+// callback as `error = true`; the handler decides whether to tear the fd
+// down.
 class EventLoop {
  public:
   struct IoEvent {
@@ -35,16 +48,26 @@ class EventLoop {
   };
   using IoCallback = std::function<void(IoEvent)>;
 
-  // Creation opens the self-pipe; the only failure mode is fd exhaustion.
-  static StatusOr<std::unique_ptr<EventLoop>> Create();
+  // Creation opens the self-pipe (and the epoll instance, when that backend
+  // is selected); the only failure mode is fd exhaustion.  Requesting
+  // kEpoll on a platform without it is an Invalid status — callers probe
+  // with EpollSupported() first.
+  static StatusOr<std::unique_ptr<EventLoop>> Create(
+      EventLoopBackend backend = EventLoopBackend::kDefault);
   ~EventLoop();
+
+  // True when this build can construct a kEpoll loop (Linux).
+  static bool EpollSupported();
+
+  // The backend this loop actually runs (kDefault is resolved at Create).
+  EventLoopBackend backend() const { return backend_; }
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   // Registers (or re-registers) `fd` with the given interest set.  The
-  // callback is invoked on the loop thread whenever poll reports matching
-  // readiness.  Loop-thread only.
+  // callback is invoked on the loop thread whenever the backend reports
+  // matching readiness.  Loop-thread only.
   Status Watch(int fd, bool want_read, bool want_write, IoCallback callback);
 
   // Adjusts the interest set of an already-watched fd, keeping its
@@ -65,30 +88,39 @@ class EventLoop {
   // foreign thread wants done to loop state goes through here.
   void Post(std::function<void()> fn);
 
-  // Runs until Quit: poll, dispatch io callbacks, run due timers, drain
-  // posted tasks.  Returns after a Quit posted from any thread.
+  // Runs until Quit: wait for readiness, dispatch io callbacks, run due
+  // timers, drain posted tasks.  Returns after a Quit posted from any
+  // thread.
   void Run();
 
   // Thread-safe: asks Run() to return after the current iteration.
   void Quit();
 
  private:
-  EventLoop(int wake_read_fd, int wake_write_fd);
+  EventLoop(int wake_read_fd, int wake_write_fd, int epoll_fd,
+            EventLoopBackend backend);
 
   void DrainWakePipe();
   void RunPostedTasks();
-  // Milliseconds until the nearest timer (clamped for poll), or -1.
+  // Milliseconds until the nearest timer (clamped for poll/epoll), or -1.
   int NextTimerTimeoutMillis() const;
   void RunDueTimers();
+  void RunPoll();
+  void RunEpoll();
+  void DispatchReady(int fd, IoEvent event);
+  // epoll_ctl wrapper; no-op under the poll backend.
+  Status EpollControl(int op, int fd, bool want_read, bool want_write);
+
+  int wake_read_fd_;
+  int wake_write_fd_;
+  int epoll_fd_;  // -1 under the poll backend
+  EventLoopBackend backend_;
 
   struct Watched {
     bool want_read = false;
     bool want_write = false;
     IoCallback callback;
   };
-
-  int wake_read_fd_;
-  int wake_write_fd_;
   std::map<int, Watched> watched_;
   // Timers keyed by (deadline, id): multimap order is fire order.
   std::map<std::pair<uint64_t, uint64_t>, std::function<void()>> timers_;

@@ -3,8 +3,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "store/partitioned_store.h"
+
 namespace fasthist {
 namespace {
+
+// Caps on the variable-length tails of the extended ack/stats codecs: a
+// hostile count field can cost at most this many fixed-size entries of
+// buffering before the remaining-bytes check rejects it.
+constexpr uint32_t kMaxPartitionEntries = 65536;
 
 // "FHn1" as it appears on the wire (little-endian u32).
 constexpr uint32_t kFrameMagic = 0x316e4846;
@@ -198,6 +205,15 @@ std::vector<uint8_t> EncodeIngestAck(const IngestAck& ack) {
   AppendU64(&out, ack.accepted);
   AppendU64(&out, ack.shed);
   AppendU32(&out, ack.keep_shift);
+  AppendU64(&out, ack.rejected);
+  AppendU32(&out, static_cast<uint32_t>(ack.partitions.size()));
+  for (const PartitionDisposition& p : ack.partitions) {
+    AppendU32(&out, p.partition);
+    AppendU32(&out, p.keep_shift);
+    AppendU64(&out, p.accepted);
+    AppendU64(&out, p.shed);
+    AppendU64(&out, p.rejected);
+  }
   return out;
 }
 
@@ -205,8 +221,23 @@ StatusOr<IngestAck> DecodeIngestAck(Span<const uint8_t> payload) {
   PayloadReader reader(payload);
   IngestAck ack;
   if (!reader.ReadU64(&ack.accepted) || !reader.ReadU64(&ack.shed) ||
-      !reader.ReadU32(&ack.keep_shift)) {
+      !reader.ReadU32(&ack.keep_shift) || !reader.ReadU64(&ack.rejected)) {
     return Truncated("DecodeIngestAck");
+  }
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("DecodeIngestAck");
+  // Entries are 32 bytes each; bound the count against the bytes actually
+  // present (and an absolute cap) before sizing anything from it.
+  if (count > kMaxPartitionEntries || reader.remaining() / 32 < count) {
+    return Status::Invalid("DecodeIngestAck: partition count overruns frame");
+  }
+  ack.partitions.resize(count);
+  for (PartitionDisposition& p : ack.partitions) {
+    if (!reader.ReadU32(&p.partition) || !reader.ReadU32(&p.keep_shift) ||
+        !reader.ReadU64(&p.accepted) || !reader.ReadU64(&p.shed) ||
+        !reader.ReadU64(&p.rejected)) {
+      return Truncated("DecodeIngestAck");
+    }
   }
   if (reader.remaining() != 0) return TrailingBytes("DecodeIngestAck");
   return ack;
@@ -307,6 +338,18 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
   AppendDouble(&out, stats.query_p99_us);
   AppendDouble(&out, stats.query_p995_us);
   AppendI64(&out, stats.query_count);
+  AppendU32(&out, stats.num_loops);
+  AppendU32(&out, static_cast<uint32_t>(stats.partitions.size()));
+  for (const PartitionStats& p : stats.partitions) {
+    AppendU32(&out, p.partition);
+    AppendU64(&out, p.queue_depth);
+    AppendU64(&out, p.max_queue_depth);
+    AppendU64(&out, p.samples_accepted);
+    AppendU64(&out, p.samples_shed);
+    AppendU64(&out, p.samples_rejected);
+    AppendU64(&out, p.flushes_size);
+    AppendU64(&out, p.flushes_deadline);
+  }
   return out;
 }
 
@@ -331,8 +374,27 @@ StatusOr<ServerStats> DecodeServerStats(Span<const uint8_t> payload) {
       !reader.ReadDouble(&stats.query_p50_us) ||
       !reader.ReadDouble(&stats.query_p99_us) ||
       !reader.ReadDouble(&stats.query_p995_us) ||
-      !reader.ReadI64(&stats.query_count)) {
+      !reader.ReadI64(&stats.query_count) ||
+      !reader.ReadU32(&stats.num_loops)) {
     return Truncated("DecodeServerStats");
+  }
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) return Truncated("DecodeServerStats");
+  // Entries are 60 bytes each; count is bounded by the bytes present.
+  if (count > kMaxPartitionEntries || reader.remaining() / 60 < count) {
+    return Status::Invalid("DecodeServerStats: partition count overruns frame");
+  }
+  stats.partitions.resize(count);
+  for (PartitionStats& p : stats.partitions) {
+    if (!reader.ReadU32(&p.partition) || !reader.ReadU64(&p.queue_depth) ||
+        !reader.ReadU64(&p.max_queue_depth) ||
+        !reader.ReadU64(&p.samples_accepted) ||
+        !reader.ReadU64(&p.samples_shed) ||
+        !reader.ReadU64(&p.samples_rejected) ||
+        !reader.ReadU64(&p.flushes_size) ||
+        !reader.ReadU64(&p.flushes_deadline)) {
+      return Truncated("DecodeServerStats");
+    }
   }
   if (reader.remaining() != 0) return TrailingBytes("DecodeServerStats");
   return stats;
@@ -367,6 +429,46 @@ StatusOr<ErrorReply> DecodeErrorReply(Span<const uint8_t> payload) {
   error.message.assign(reinterpret_cast<const char*>(reader.cursor()),
                        static_cast<size_t>(length));
   return error;
+}
+
+std::vector<KeyedSample> ReconstructAccepted(Span<const KeyedSample> batch,
+                                             const IngestAck& ack,
+                                             uint32_t num_partitions) {
+  std::vector<KeyedSample> kept;
+  if (ack.partitions.empty()) {
+    // Single-loop shape: one stride over the whole batch (rejected != 0
+    // would have come as a kRejected frame instead of an ack).
+    const uint64_t stride = uint64_t{1} << ack.keep_shift;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i % stride == 0) kept.push_back(batch[i]);
+    }
+    return kept;
+  }
+  // Sharded shape: replay the server's own partition walk.  Each entry's
+  // stride applies to that partition's subsequence index, which is exactly
+  // the running count of earlier batch samples mapping to the partition.
+  struct Disposition {
+    bool present = false;
+    bool rejected = false;
+    uint64_t stride = 1;
+  };
+  std::vector<Disposition> by_partition(num_partitions);
+  for (const PartitionDisposition& p : ack.partitions) {
+    if (p.partition >= num_partitions) continue;  // hostile/buggy ack entry
+    Disposition& d = by_partition[p.partition];
+    d.present = true;
+    d.rejected = p.rejected != 0;
+    d.stride = uint64_t{1} << p.keep_shift;
+  }
+  std::vector<uint64_t> subindex(num_partitions, 0);
+  for (const KeyedSample& sample : batch) {
+    const uint32_t p = PartitionOfKey(sample.key, num_partitions);
+    const uint64_t j = subindex[p]++;
+    const Disposition& d = by_partition[p];
+    if (!d.present || d.rejected) continue;
+    if (j % d.stride == 0) kept.push_back(sample);
+  }
+  return kept;
 }
 
 }  // namespace fasthist

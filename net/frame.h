@@ -42,6 +42,22 @@ enum class FrameType : uint32_t {
   kError = 10,         // server -> client: typed error reply
 };
 
+// One partition's disposition of its slice of a kIngest batch (sharded
+// server).  `keep_shift` is that partition's degrade-to-sampling stride:
+// within the partition's subsequence of the batch (samples with
+// PartitionOfKey(key, N) == partition, in batch order), subsequence index j
+// was kept iff rejected == 0 and j % (1 << keep_shift) == 0.  `rejected`
+// counts samples refused outright (hard watermark or full hand-off ring) —
+// all-or-nothing per partition per batch, so replay reconstruction stays a
+// pure function of the ACK.
+struct PartitionDisposition {
+  uint32_t partition = 0;
+  uint32_t keep_shift = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+};
+
 // Payload of kIngestAck: how the server disposed of one kIngest batch.
 // `keep_shift` records the degrade-to-sampling stride: the server kept
 // sample i of the batch iff i % (1 << keep_shift) == 0 (0 = kept all).  The
@@ -53,10 +69,20 @@ enum class FrameType : uint32_t {
 // the recorded weight-correction factor: uniform systematic thinning
 // preserves the sample distribution (quantiles stay unbiased), but count
 // readouts must be rescaled by it.
+//
+// The sharded server applies shedding *per partition* and fills
+// `partitions` with one entry per partition the batch touched; the
+// top-level accepted/shed/rejected are then sums over the entries and
+// keep_shift is the maximum stride any partition applied (a summary for
+// single-loop-era dashboards).  When `partitions` is empty the whole batch
+// was disposed with the single top-level stride (the single-loop server).
+// ReconstructAccepted (below) handles both shapes.
 struct IngestAck {
   uint64_t accepted = 0;
   uint64_t shed = 0;
   uint32_t keep_shift = 0;
+  uint64_t rejected = 0;
+  std::vector<PartitionDisposition> partitions;
 };
 
 // Payload of kRejected: the queue state that tripped the hard watermark.
@@ -76,10 +102,30 @@ struct QuantileReply {
   int64_t num_samples = 0;
 };
 
+// One partition's live counters inside a kStatsReply — how operators see
+// which partition is hot.  `queue_depth` is the partition's pending-sample
+// depth at the moment its owner loop answered the stats scatter;
+// `max_queue_depth` is its high-water mark since start.
+struct PartitionStats {
+  uint32_t partition = 0;
+  uint64_t queue_depth = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t samples_accepted = 0;
+  uint64_t samples_shed = 0;
+  uint64_t samples_rejected = 0;
+  uint64_t flushes_size = 0;
+  uint64_t flushes_deadline = 0;
+};
+
 // Payload of kStatsReply: the server's own accounting, measured by its own
 // streaming histograms (net/latency_recorder.h).  Latencies are
 // microseconds; the ingest class times frame-decode -> ACK-queued, the
 // query class times frame-decode -> reply-queued for pulls and quantiles.
+// Sharded servers report num_loops > 1 and one PartitionStats per
+// partition; the top-level latency quantiles are then the *merge* of every
+// loop's recorder (the library's own mergeability at work), and the
+// top-level counters are sums.  The single-loop server reports
+// num_loops = 1 with one partition entry mirroring its global counters.
 struct ServerStats {
   uint64_t frames_received = 0;
   uint64_t connections_accepted = 0;
@@ -100,6 +146,8 @@ struct ServerStats {
   double query_p99_us = 0.0;
   double query_p995_us = 0.0;
   int64_t query_count = 0;
+  uint32_t num_loops = 1;
+  std::vector<PartitionStats> partitions;
 };
 
 // Payload of kError.  kMalformed means the byte stream itself is broken —
@@ -197,6 +245,20 @@ StatusOr<ServerStats> DecodeServerStats(Span<const uint8_t> payload);
 
 std::vector<uint8_t> EncodeErrorReply(const ErrorReply& error);
 StatusOr<ErrorReply> DecodeErrorReply(Span<const uint8_t> payload);
+
+// The client half of the bit-identical-replay contract: given the batch it
+// sent, the ACK it got back, and the partition count the server runs
+// (ServerStats::num_loops), returns the exact subsequence the server
+// ingested, in original batch order.  With per-partition dispositions the
+// stride is applied within each partition's subsequence (the same
+// PartitionOfKey walk the server did); without them the top-level stride
+// applies to the whole batch (single-loop server).  A partition entry with
+// rejected != 0 contributed nothing; a partition the batch touched but the
+// ACK omits likewise contributed nothing (defensive — the server always
+// emits touched partitions).
+std::vector<KeyedSample> ReconstructAccepted(Span<const KeyedSample> batch,
+                                             const IngestAck& ack,
+                                             uint32_t num_partitions);
 
 }  // namespace fasthist
 

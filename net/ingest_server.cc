@@ -186,6 +186,23 @@ ServerStats IngestServer::stats() const { return BuildStats(); }
 
 ServerStats IngestServer::BuildStats() const {
   ServerStats stats = counters_;
+  // The single-loop server is the one-partition degenerate case of the
+  // sharded stats shape: num_loops = 1 with a lone partition entry
+  // mirroring the global counters, so dashboards read both servers the
+  // same way.
+  stats.num_loops = 1;
+  PartitionStats partition;
+  partition.partition = 0;
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    partition.queue_depth += conn->queue.size();
+  }
+  partition.max_queue_depth = counters_.max_queue_depth;
+  partition.samples_accepted = counters_.samples_accepted;
+  partition.samples_shed = counters_.samples_shed;
+  partition.flushes_size = counters_.flushes_size;
+  partition.flushes_deadline = counters_.flushes_deadline;
+  stats.partitions.push_back(partition);
   if (auto s = ingest_latency_->Stats(); s.ok()) {
     stats.ingest_p50_us = s->p50_us;
     stats.ingest_p99_us = s->p99_us;

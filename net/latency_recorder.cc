@@ -43,4 +43,39 @@ StatusOr<LatencyStats> LatencyRecorder::Stats() const {
   return stats;
 }
 
+StatusOr<ShardSummary> LatencyRecorder::ExportSummary() const {
+  auto summary = builder_.Peek();
+  if (!summary.ok()) return summary.status();
+  return ShardSummary{std::move(summary).value(),
+                      static_cast<double>(builder_.num_samples()),
+                      builder_.error_levels()};
+}
+
+StatusOr<LatencyStats> LatencyRecorder::MergedStats(
+    std::vector<ShardSummary> parts) {
+  LatencyStats stats;
+  double total_weight = 0.0;
+  std::vector<ShardSummary> live;
+  live.reserve(parts.size());
+  for (ShardSummary& part : parts) {
+    if (part.weight <= 0.0) continue;  // idle loop: no mass to merge
+    total_weight += part.weight;
+    live.push_back(std::move(part));
+  }
+  stats.count = static_cast<int64_t>(total_weight);
+  if (live.empty()) return stats;  // every loop idle: the all-zero readout
+  auto reduced = ReduceSummaries(std::move(live), /*k=*/64);
+  if (!reduced.ok()) return reduced.status();
+  auto aggregator = Aggregator::Create(reduced.value());
+  if (!aggregator.ok()) return aggregator.status();
+  const double ticks_per_us = static_cast<double>(kTicksPerMicro);
+  stats.p50_us =
+      static_cast<double>(aggregator->Quantile(0.50)) / ticks_per_us;
+  stats.p99_us =
+      static_cast<double>(aggregator->Quantile(0.99)) / ticks_per_us;
+  stats.p995_us =
+      static_cast<double>(aggregator->Quantile(0.995)) / ticks_per_us;
+  return stats;
+}
+
 }  // namespace fasthist

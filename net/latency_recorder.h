@@ -2,8 +2,10 @@
 #define FASTHIST_NET_LATENCY_RECORDER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/streaming.h"
+#include "service/merge_tree.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -42,6 +44,21 @@ class LatencyRecorder {
   // recorded, returns an all-zero LatencyStats (count == 0) rather than an
   // error — a stats probe against an idle server is not a fault.
   StatusOr<LatencyStats> Stats() const;
+
+  // The recorder as a mergeable shard: its current summary packaged for
+  // ReduceSummaries (weight = samples recorded, error_levels from the
+  // builder's own ladder accounting).  This is what lets N per-loop
+  // recorders in the sharded server fold into one fleet-wide latency
+  // distribution with accounted error — the header's "recorder state could
+  // even be merged" promise, cashed in.
+  StatusOr<ShardSummary> ExportSummary() const;
+
+  // Folds per-loop recorder summaries (ExportSummary outputs) into one
+  // LatencyStats.  Zero-weight parts drop out; if nothing remains the
+  // result is the all-zero stats an idle recorder reports.  The merge runs
+  // through the deterministic tree, so the reply is a pure function of the
+  // per-loop states.
+  static StatusOr<LatencyStats> MergedStats(std::vector<ShardSummary> parts);
 
   static constexpr int64_t kTicksPerMicro = 10;  // 100 ns ticks
   static constexpr int64_t kDomainTicks = int64_t{1} << 25;

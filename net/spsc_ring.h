@@ -1,0 +1,76 @@
+#ifndef FASTHIST_NET_SPSC_RING_H_
+#define FASTHIST_NET_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fasthist {
+
+// A bounded single-producer single-consumer ring: the hand-off lane between
+// a receiving event loop (producer) and a partition's owner loop (consumer)
+// in the sharded ingest server.  Exactly one thread may call Push and
+// exactly one thread may call Pop — under that contract the ring is
+// lock-free and wait-free: each side owns its own index and only *reads*
+// the other's, with release/acquire pairing on the published index so the
+// slot contents written before a Push are visible after the matching Pop.
+//
+// Capacity is a power of two fixed at construction; Push on a full ring
+// returns false (the caller's backpressure signal — the sharded server
+// counts it as a per-partition reject), it never blocks or allocates.
+//
+// head_ and tail_ live on separate cache lines so the producer's stores
+// never invalidate the consumer's line (and vice versa) except at the
+// moment of hand-off.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity_pow2)
+      : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side.  False = full (nothing consumed, `value` untouched
+  // beyond the failed attempt — the caller still owns it).
+  bool Push(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False = empty.
+  bool Pop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy (exact when called from either endpoint thread
+  // with the other side quiescent) — used for depth reporting, not control.
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+ private:
+  std::vector<T> slots_;
+  const uint64_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer-owned
+};
+
+}  // namespace fasthist
+
+#endif  // FASTHIST_NET_SPSC_RING_H_

@@ -1,0 +1,112 @@
+#include "store/partitioned_store.h"
+
+#include <utility>
+
+namespace fasthist {
+
+StatusOr<PartitionedSummaryStore> PartitionedSummaryStore::Create(
+    const ArchetypeConfig& default_config, uint32_t num_partitions) {
+  if (num_partitions == 0 ||
+      (num_partitions & (num_partitions - 1)) != 0) {
+    return Status::Invalid(
+        "PartitionedSummaryStore: num_partitions must be a power of two");
+  }
+  std::vector<SummaryStore> partitions;
+  partitions.reserve(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    StatusOr<SummaryStore> store = SummaryStore::Create(default_config);
+    if (!store.ok()) return store.status();
+    partitions.push_back(std::move(store).value());
+  }
+  return PartitionedSummaryStore(std::move(partitions));
+}
+
+Status PartitionedSummaryStore::AddBatch(Span<const KeyedSample> samples,
+                                         int archetype) {
+  // Stable partition of the span: each partition's subsequence keeps span
+  // order, so a key's samples arrive at its store in original order — the
+  // invariant the per-key bit-identity contract rides on.
+  std::vector<std::vector<KeyedSample>> buckets(partitions_.size());
+  for (const KeyedSample& sample : samples) {
+    buckets[partition_of(sample.key)].push_back(sample);
+  }
+  for (uint32_t p = 0; p < num_partitions(); ++p) {
+    if (buckets[p].empty()) continue;
+    if (Status s = partitions_[p].AddBatch(
+            Span<const KeyedSample>(buckets[p].data(), buckets[p].size()),
+            archetype);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status PartitionedSummaryStore::EnsureKeys(Span<const uint64_t> keys,
+                                           int archetype) {
+  std::vector<std::vector<uint64_t>> buckets(partitions_.size());
+  for (const uint64_t key : keys) {
+    buckets[partition_of(key)].push_back(key);
+  }
+  for (uint32_t p = 0; p < num_partitions(); ++p) {
+    if (buckets[p].empty()) continue;
+    if (Status s = partitions_[p].EnsureKeys(
+            Span<const uint64_t>(buckets[p].data(), buckets[p].size()),
+            archetype);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+size_t PartitionedSummaryStore::num_keys() const {
+  size_t total = 0;
+  for (const SummaryStore& store : partitions_) total += store.num_keys();
+  return total;
+}
+
+StoreMemoryStats PartitionedSummaryStore::memory() const {
+  StoreMemoryStats total;
+  for (const SummaryStore& store : partitions_) {
+    const StoreMemoryStats stats = store.memory();
+    total.total_bytes += stats.total_bytes;
+    total.payload_bytes += stats.payload_bytes;
+    total.ladder_slack_bytes += stats.ladder_slack_bytes;
+    total.index_bytes += stats.index_bytes;
+    total.metadata_bytes += stats.metadata_bytes;
+    total.num_keys += stats.num_keys;
+  }
+  return total;
+}
+
+StatusOr<MergeTreeResult> PartitionedSummaryStore::MergeAllMatching(
+    const std::function<bool(uint64_t)>& pred, int64_t k,
+    const MergeTreeOptions& options) const {
+  std::vector<ShardSummary> per_partition;
+  per_partition.reserve(partitions_.size());
+  for (const SummaryStore& store : partitions_) {
+    StatusOr<MergeTreeResult> local = store.MergeAllMatching(pred, k, options);
+    if (!local.ok()) {
+      // An empty partition carries no mass — it drops out of the rollup the
+      // way empty shards drop out of ReduceSnapshots.  Any other failure is
+      // a real error and propagates.
+      if (local.status().message() ==
+          "SummaryStore: no matching key has samples") {
+        continue;
+      }
+      return local.status();
+    }
+    MergeTreeResult result = std::move(local).value();
+    per_partition.push_back(ShardSummary{std::move(result.aggregate),
+                                         result.total_weight,
+                                         result.error_levels});
+  }
+  if (per_partition.empty()) {
+    return Status::Invalid(
+        "PartitionedSummaryStore: no matching key has samples");
+  }
+  return ReduceSummaries(std::move(per_partition), k, options);
+}
+
+}  // namespace fasthist

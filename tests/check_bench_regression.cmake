@@ -14,8 +14,27 @@
 # Inputs (via -D):
 #   COMMITTED_JSON  the committed trajectory (e.g. BENCH_store.json)
 #   FRESH_JSON      the just-run smoke output (a FIXTURES_SETUP test wrote it)
-#   FIELD           record member holding the throughput (higher = better)
-#   TOLERANCE_PCT   allowed relative drop, in percent (e.g. 30)
+#   FIELD           record member holding the metric under test
+#   TOLERANCE_PCT   allowed relative drift, in percent (e.g. 30)
+#
+# Optional inputs (via -D):
+#   MATCH_THREADS      default ON.  OFF matches rows by name alone — for
+#                      grids whose committed rows come from a machine with a
+#                      different core count than CI (e.g. BENCH_net rows
+#                      carry threads_effective = cores actually used, so a
+#                      1-core-committed row would never thread-match a
+#                      multi-core CI run).  Shape normalization still
+#                      absorbs the absolute speed difference.
+#   DIRECTION          default "higher" (bigger FIELD = better, regression =
+#                      relative drop).  "lower" flips it for latency-style
+#                      fields: regression = fresh shape rising more than
+#                      TOLERANCE_PCT above the committed shape.
+#   SKIP_IF_UNMATCHED  default OFF.  ON turns the <2-matches FATAL into a
+#                      STATUS + pass — for checks that only apply when the
+#                      fresh grid overlaps the committed one (e.g. a
+#                      threads-matched latency check that legitimately has
+#                      nothing to compare on a machine class the committed
+#                      file has never seen).
 #
 # CMake math() is integer-only, so decimal field values are parsed into
 # micro-unit integers; ratios are then exact integer arithmetic.
@@ -26,6 +45,19 @@ foreach(var COMMITTED_JSON FRESH_JSON FIELD TOLERANCE_PCT)
     message(FATAL_ERROR "check_bench_regression: ${var} must be passed -D")
   endif()
 endforeach()
+if(NOT DEFINED MATCH_THREADS)
+  set(MATCH_THREADS ON)
+endif()
+if(NOT DEFINED DIRECTION)
+  set(DIRECTION "higher")
+endif()
+if(NOT DEFINED SKIP_IF_UNMATCHED)
+  set(SKIP_IF_UNMATCHED OFF)
+endif()
+if(NOT DIRECTION STREQUAL "higher" AND NOT DIRECTION STREQUAL "lower")
+  message(FATAL_ERROR "check_bench_regression: DIRECTION must be 'higher' "
+                      "or 'lower', got '${DIRECTION}'")
+endif()
 foreach(path "${COMMITTED_JSON}" "${FRESH_JSON}")
   if(NOT EXISTS "${path}")
     message(FATAL_ERROR "check_bench_regression: missing ${path}")
@@ -76,27 +108,32 @@ foreach(file_var committed fresh)
   endif()
 endforeach()
 
-# Collect the matched rows: same name in both files, same threads_effective.
+# Collect the matched rows: same name in both files, and (unless
+# MATCH_THREADS is OFF) same threads_effective.
 set(matched_names "")
 math(EXPR fresh_last "${fresh_count} - 1")
 math(EXPR committed_last "${committed_count} - 1")
 foreach(i RANGE ${fresh_last})
   string(JSON name GET "${fresh}" records ${i} name)
-  string(JSON fresh_threads ERROR_VARIABLE json_error
-         GET "${fresh}" records ${i} threads_effective)
-  if(json_error)
-    message(FATAL_ERROR "check_bench_regression: fresh record '${name}' "
-                        "lacks threads_effective")
+  if(MATCH_THREADS)
+    string(JSON fresh_threads ERROR_VARIABLE json_error
+           GET "${fresh}" records ${i} threads_effective)
+    if(json_error)
+      message(FATAL_ERROR "check_bench_regression: fresh record '${name}' "
+                          "lacks threads_effective")
+    endif()
   endif()
   foreach(j RANGE ${committed_last})
     string(JSON committed_name GET "${committed}" records ${j} name)
     if(NOT committed_name STREQUAL name)
       continue()
     endif()
-    string(JSON committed_threads ERROR_VARIABLE json_error
-           GET "${committed}" records ${j} threads_effective)
-    if(json_error OR NOT committed_threads EQUAL fresh_threads)
-      continue()
+    if(MATCH_THREADS)
+      string(JSON committed_threads ERROR_VARIABLE json_error
+             GET "${committed}" records ${j} threads_effective)
+      if(json_error OR NOT committed_threads EQUAL fresh_threads)
+        continue()
+      endif()
     endif()
     string(JSON fresh_value GET "${fresh}" records ${i} ${FIELD})
     string(JSON committed_value ERROR_VARIABLE json_error
@@ -120,10 +157,17 @@ endforeach()
 
 list(LENGTH matched_names num_matched)
 if(num_matched LESS 2)
+  if(SKIP_IF_UNMATCHED)
+    message(STATUS
+            "check_bench_regression: only ${num_matched} record(s) of "
+            "${FRESH_JSON} match ${COMMITTED_JSON}; SKIP_IF_UNMATCHED is "
+            "set, so nothing to compare here — passing")
+    return()
+  endif()
   message(FATAL_ERROR
           "check_bench_regression: only ${num_matched} record(s) of "
-          "${FRESH_JSON} match ${COMMITTED_JSON} by name and "
-          "threads_effective — the smoke grid and the committed grid have "
+          "${FRESH_JSON} match ${COMMITTED_JSON} by name"
+          " — the smoke grid and the committed grid have "
           "drifted apart; re-run the full bench and commit it")
 endif()
 
@@ -142,20 +186,33 @@ foreach(name IN LISTS matched_names)
        "(${fresh_of_${name}} * 1000000) / ${fresh_of_${anchor}}")
   math(EXPR committed_shape
        "(${committed_of_${name}} * 1000000) / ${committed_of_${anchor}}")
-  math(EXPR floor_shape
-       "(${committed_shape} * (100 - ${TOLERANCE_PCT})) / 100")
-  if(fresh_shape LESS floor_shape)
-    math(EXPR drop_pct
-         "100 - (${fresh_shape} * 100) / ${committed_shape}")
-    list(APPEND failures
-         "'${name}' fell ${drop_pct}% vs '${anchor}' (committed shape "
-         "${committed_shape}, fresh ${fresh_shape}, floor ${floor_shape})")
+  if(DIRECTION STREQUAL "higher")
+    math(EXPR floor_shape
+         "(${committed_shape} * (100 - ${TOLERANCE_PCT})) / 100")
+    if(fresh_shape LESS floor_shape)
+      math(EXPR drop_pct
+           "100 - (${fresh_shape} * 100) / ${committed_shape}")
+      list(APPEND failures
+           "'${name}' fell ${drop_pct}% vs '${anchor}' (committed shape "
+           "${committed_shape}, fresh ${fresh_shape}, floor ${floor_shape})")
+    endif()
+  else()
+    math(EXPR ceiling_shape
+         "(${committed_shape} * (100 + ${TOLERANCE_PCT})) / 100")
+    if(fresh_shape GREATER ceiling_shape)
+      math(EXPR rise_pct
+           "(${fresh_shape} * 100) / ${committed_shape} - 100")
+      list(APPEND failures
+           "'${name}' rose ${rise_pct}% vs '${anchor}' (committed shape "
+           "${committed_shape}, fresh ${fresh_shape}, ceiling "
+           "${ceiling_shape})")
+    endif()
   endif()
 endforeach()
 
 if(failures)
   string(REPLACE ";" "\n  " failure_text "${failures}")
-  message(FATAL_ERROR "check_bench_regression: relative throughput "
+  message(FATAL_ERROR "check_bench_regression: relative ${FIELD} "
                       "regression beyond ${TOLERANCE_PCT}%:\n  "
                       "${failure_text}")
 endif()

@@ -76,6 +76,9 @@ TEST(NetFrameRoundTripsAndParserReassembles) {
   ack.accepted = 2;
   ack.shed = 1;
   ack.keep_shift = 1;
+  ack.rejected = 4;
+  ack.partitions.push_back(PartitionDisposition{0, 0, 2, 0, 0});
+  ack.partitions.push_back(PartitionDisposition{3, 1, 0, 1, 4});
   RejectedInfo rejected;
   rejected.queue_depth = 4096;
   rejected.hard_watermark = 1024;
@@ -91,6 +94,8 @@ TEST(NetFrameRoundTripsAndParserReassembles) {
   stats.samples_shed = 3;
   stats.ingest_p99_us = 250.5;
   stats.ingest_count = 12;
+  stats.num_loops = 4;
+  stats.partitions.push_back(PartitionStats{2, 96, 4096, 100, 3, 7, 5, 1});
   ErrorReply error;
   error.code = ErrorCode::kUnknownKey;
   error.message = "no such key";
@@ -135,6 +140,14 @@ TEST(NetFrameRoundTripsAndParserReassembles) {
   CHECK_OK(decoded_ack);
   CHECK(decoded_ack->accepted == 2 && decoded_ack->shed == 1 &&
         decoded_ack->keep_shift == 1);
+  CHECK(decoded_ack->rejected == 4);
+  CHECK(decoded_ack->partitions.size() == 2);
+  CHECK(decoded_ack->partitions[0].partition == 0 &&
+        decoded_ack->partitions[0].accepted == 2);
+  CHECK(decoded_ack->partitions[1].partition == 3 &&
+        decoded_ack->partitions[1].keep_shift == 1 &&
+        decoded_ack->partitions[1].shed == 1 &&
+        decoded_ack->partitions[1].rejected == 4);
 
   auto decoded_rejected = DecodeRejectedInfo(frames[2].payload);
   CHECK_OK(decoded_rejected);
@@ -160,6 +173,16 @@ TEST(NetFrameRoundTripsAndParserReassembles) {
   CHECK(decoded_stats->frames_received == 17 &&
         decoded_stats->samples_shed == 3 && decoded_stats->ingest_count == 12);
   CHECK_NEAR(decoded_stats->ingest_p99_us, 250.5, 0.0);
+  CHECK(decoded_stats->num_loops == 4);
+  CHECK(decoded_stats->partitions.size() == 1);
+  CHECK(decoded_stats->partitions[0].partition == 2 &&
+        decoded_stats->partitions[0].queue_depth == 96 &&
+        decoded_stats->partitions[0].max_queue_depth == 4096 &&
+        decoded_stats->partitions[0].samples_accepted == 100 &&
+        decoded_stats->partitions[0].samples_shed == 3 &&
+        decoded_stats->partitions[0].samples_rejected == 7 &&
+        decoded_stats->partitions[0].flushes_size == 5 &&
+        decoded_stats->partitions[0].flushes_deadline == 1);
 
   auto decoded_error = DecodeErrorReply(frames[7].payload);
   CHECK_OK(decoded_error);
@@ -215,6 +238,20 @@ TEST(NetFrameDecodeRejectsCorruptInput) {
   {
     std::vector<uint8_t> hostile(8, 0xFF);  // count = 2^64 - 1, no samples
     CHECK(!DecodeIngestPayload(hostile).ok());
+  }
+
+  // Same for the ACK's per-partition disposition count (bytes 28..31, after
+  // accepted + shed + keep_shift + rejected): a huge count with one actual
+  // entry present must fail the bytes-present check, not allocate.
+  {
+    IngestAck sharded_ack{5, 3, 1};
+    sharded_ack.partitions.push_back(PartitionDisposition{0, 1, 5, 3, 0});
+    std::vector<uint8_t> hostile = EncodeIngestAck(sharded_ack);
+    hostile[28] = 0xFF;
+    hostile[29] = 0xFF;
+    hostile[30] = 0xFF;
+    hostile[31] = 0xFF;
+    CHECK(!DecodeIngestAck(hostile).ok());
   }
 
   // Every typed decoder rejects every strict prefix and one trailing byte.
